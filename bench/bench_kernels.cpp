@@ -1,0 +1,93 @@
+// google-benchmark microbenchmarks of the numeric kernels underlying
+// the simulator — useful for spotting regressions in the CPU substrate
+// that would distort the runnable examples.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+using namespace mls;
+
+namespace {
+
+void BM_Matmul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn(Shape{{n, n}}, rng);
+  Tensor b = Tensor::randn(Shape{{n, n}}, rng);
+  for (auto _ : state) {
+    Tensor c = ops::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 * n * n * n);
+}
+
+void BM_BmmAttentionScores(benchmark::State& state) {
+  // [heads, s, d] @ [heads, s, d]^T — the QK^T shape.
+  const int64_t s = state.range(0);
+  Rng rng(2);
+  Tensor q = Tensor::randn(Shape{{8, s, 32}}, rng);
+  Tensor k = Tensor::randn(Shape{{8, s, 32}}, rng);
+  for (auto _ : state) {
+    Tensor scores = ops::bmm(q, k, false, true);
+    benchmark::DoNotOptimize(scores.data());
+  }
+}
+
+void BM_SoftmaxCausal(benchmark::State& state) {
+  const int64_t s = state.range(0);
+  Rng rng(3);
+  Tensor x = Tensor::randn(Shape{{8, s, s}}, rng);
+  for (auto _ : state) {
+    Tensor y = ops::softmax_lastdim(x, true);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 8 * s * s);
+}
+
+void BM_LayerNorm(benchmark::State& state) {
+  const int64_t h = state.range(0);
+  Rng rng(4);
+  Tensor x = Tensor::randn(Shape{{256, h}}, rng);
+  Tensor gamma = Tensor::full(Shape{{h}}, 1.f);
+  Tensor beta = Tensor::zeros(Shape{{h}});
+  for (auto _ : state) {
+    auto out = ops::layernorm(x, gamma, beta);
+    benchmark::DoNotOptimize(out.y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 256 * h);
+}
+
+void BM_StatelessDropout(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(5);
+  Tensor x = Tensor::randn(Shape{{n}}, rng);
+  const auto map = ops::IndexMap::identity(Shape{{n}});
+  for (auto _ : state) {
+    auto out = ops::dropout_stateless(x, 0.1f, 42, map);
+    benchmark::DoNotOptimize(out.y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+
+void BM_Gelu(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(6);
+  Tensor x = Tensor::randn(Shape{{n}}, rng);
+  for (auto _ : state) {
+    Tensor y = ops::gelu(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_BmmAttentionScores)->Arg(32)->Arg(128);
+BENCHMARK(BM_SoftmaxCausal)->Arg(64)->Arg(256);
+BENCHMARK(BM_LayerNorm)->Arg(64)->Arg(512);
+BENCHMARK(BM_StatelessDropout)->Arg(1 << 12)->Arg(1 << 16);
+BENCHMARK(BM_Gelu)->Arg(1 << 12)->Arg(1 << 16);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+#include "autograd/engine.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "autograd/node.h"
+
+namespace mls::ag {
+
+namespace {
+
+// Iterative DFS producing a reverse-topological order (every consumer
+// before its producers). Recursion is avoided because deep models
+// (L layers × ~20 nodes) would overflow the stack.
+std::vector<Node*> reverse_topo_order(Node* root) {
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    size_t next_input;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root, 0});
+  visited.insert(root);
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_input < f.node->inputs.size()) {
+      const Var& in = f.node->inputs[f.next_input++];
+      Node* child = in.grad_fn().get();
+      if (child != nullptr && !visited.count(child)) {
+        visited.insert(child);
+        stack.push_back({child, 0});
+      }
+    } else {
+      order.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+  // Postorder has producers first; reverse it.
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace
+
+void backward(const Var& root, Tensor grad_out) {
+  MLS_CHECK(root.defined()) << "backward on undefined Var";
+  if (!grad_out.defined()) {
+    grad_out = Tensor::full(root.value().shape(), 1.0f, root.value().dtype());
+  }
+  MLS_CHECK(grad_out.shape() == root.value().shape())
+      << "grad_out shape " << grad_out.shape().str() << " vs root "
+      << root.value().shape().str();
+
+  Node* root_fn = root.grad_fn().get();
+  if (root_fn == nullptr) {
+    if (root.requires_grad()) {
+      Var mutable_root = root;
+      mutable_root.accumulate_grad(grad_out);
+    }
+    return;
+  }
+
+  // Seed the root's output gradient.
+  root.impl()->grad = grad_out.clone();
+
+  for (Node* node : reverse_topo_order(root_fn)) {
+    auto out_impl = node->output.lock();
+    MLS_CHECK(out_impl != nullptr)
+        << "node " << node->name() << " output died before backward";
+    if (!out_impl->grad.defined()) {
+      // No gradient flowed to this node's output (e.g. a branch whose
+      // consumer produced no grad); skip it.
+      node->release_saved();
+      continue;
+    }
+    const Tensor out_grad = out_impl->grad;
+    // Free the intermediate gradient now unless this is also a leaf the
+    // user may want to read (only params / explicit leaves keep grads).
+    if (!out_impl->is_param) out_impl->grad = Tensor();
+
+    std::vector<Tensor> in_grads = node->backward(out_grad);
+    MLS_CHECK_EQ(in_grads.size(), node->inputs.size())
+        << "node " << node->name() << " returned wrong grad count";
+    for (size_t i = 0; i < in_grads.size(); ++i) {
+      Var& in = node->inputs[i];
+      if (!in_grads[i].defined()) continue;
+      if (!in.requires_grad() && in.grad_fn() == nullptr) continue;
+      MLS_CHECK(in_grads[i].shape() == in.value().shape())
+          << "node " << node->name() << " grad " << i << " shape "
+          << in_grads[i].shape().str() << " vs input " << in.value().shape().str();
+      in.accumulate_grad(in_grads[i]);
+    }
+    node->release_saved();
+  }
+}
+
+}  // namespace mls::ag

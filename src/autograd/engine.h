@@ -1,0 +1,18 @@
+// The backward engine: reverse-topological traversal of the tape.
+#pragma once
+
+#include "autograd/var.h"
+
+namespace mls::ag {
+
+// Runs back-propagation from `root`. `grad_out` defaults to ones (for a
+// scalar loss this is the usual dL/dL = 1). Gradients accumulate into
+// every reachable Var with requires_grad; intermediate grads are freed
+// as soon as their node has been processed, and each node's saved
+// tensors are released right after its backward runs.
+//
+// Re-entrant: a Node's backward may itself call backward() on a
+// subgraph (this is how checkpoint replay works).
+void backward(const Var& root, Tensor grad_out = Tensor());
+
+}  // namespace mls::ag

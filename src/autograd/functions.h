@@ -1,0 +1,64 @@
+// Differentiable operations. Each op:
+//  * computes its value with the raw kernels in tensor/ops.h,
+//  * when grad mode is on, records a Node saving exactly the tensors
+//    its backward needs — these saves define activation memory.
+//
+// The per-op saved set matches the paper's §4.1 accounting:
+//   matmul/bmm     save their (non-parameter) inputs
+//   gelu           saves its input
+//   softmax        saves its output
+//   dropout        saves only its 1-byte mask
+//   layernorm      saves its input (mean/rstd are "minor" sb buffers)
+//   cross_entropy  saves the fp32 softmax (the paper's "logits" term)
+//   add/bias/scale/reshape/permute/slice/cat save nothing
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "autograd/var.h"
+#include "tensor/ops.h"
+
+namespace mls::ag {
+
+// y = x @ w, optionally x @ w^T. Leading axes of x are batch axes.
+Var matmul(const Var& x, const Var& w, bool trans_b = false,
+           const std::string& tag = "matmul_in");
+
+// Batched matmul over [nb, m, k] tensors; both operands are saved.
+Var bmm(const Var& a, const Var& b, bool trans_b = false,
+        const std::string& tag = "bmm_in");
+
+Var add(const Var& a, const Var& b);
+Var add_bias(const Var& x, const Var& bias);
+Var scale(const Var& x, float s);
+Var gelu(const Var& x, const std::string& tag = "gelu_in");
+Var softmax(const Var& x, bool causal = false,
+            const std::string& tag = "softmax_out");
+
+// Stateless dropout (see ops::dropout_stateless). Saves the mask.
+Var dropout(const Var& x, float p, uint64_t seed, const ops::IndexMap& map,
+            const std::string& tag = "dropout_mask");
+
+Var layernorm(const Var& x, const Var& gamma, const Var& beta,
+              float eps = 1e-5f, const std::string& tag = "layernorm_in");
+
+// table is a [v, h] parameter; returns [n, h].
+Var embedding(const Var& table, const std::vector<int64_t>& ids);
+
+// Mean cross-entropy over rows of logits [n, v]. Returns a scalar.
+Var cross_entropy(const Var& logits, std::vector<int64_t> targets);
+
+// Structural ops (no saved tensors).
+Var reshape(const Var& x, Shape shape);
+Var permute(const Var& x, std::vector<int> perm);
+Var slice(const Var& x, int dim, int64_t start, int64_t len);
+Var cat(const std::vector<Var>& xs, int dim);
+std::vector<Var> chunk(const Var& x, int64_t n, int dim);
+
+// [s, b, heads*d] <-> [b*heads, s, d] attention layouts.
+Var sbh_to_bhsd(const Var& x, int64_t heads);
+Var bhsd_to_sbh(const Var& x, int64_t heads);
+
+}  // namespace mls::ag

@@ -1,0 +1,84 @@
+#include "autograd/var.h"
+
+#include "autograd/node.h"
+
+namespace mls::ag {
+
+Var::Var(Tensor value, bool requires_grad) : impl_(std::make_shared<VarImpl>()) {
+  impl_->value = std::move(value);
+  impl_->requires_grad = requires_grad;
+}
+
+Var Var::param(Tensor value, std::string name) {
+  Var v(std::move(value), /*requires_grad=*/true);
+  v.impl_->is_param = true;
+  v.impl_->name = std::move(name);
+  return v;
+}
+
+const Tensor& Var::value() const {
+  MLS_CHECK(defined()) << "value() on undefined Var";
+  return impl_->value;
+}
+
+Tensor& Var::mutable_value() {
+  MLS_CHECK(defined()) << "mutable_value() on undefined Var";
+  return impl_->value;
+}
+
+const Tensor& Var::grad() const {
+  MLS_CHECK(defined() && impl_->grad.defined())
+      << "grad() on Var without gradient" << (defined() ? " (" + impl_->name + ")" : "");
+  return impl_->grad;
+}
+
+bool Var::has_grad() const { return defined() && impl_->grad.defined(); }
+
+void Var::accumulate_grad(const Tensor& g) {
+  MLS_CHECK(defined());
+  if (!impl_->grad.defined()) {
+    impl_->grad = g.clone();
+  } else {
+    impl_->grad.add_(g);
+  }
+}
+
+void Var::zero_grad() {
+  if (defined()) impl_->grad = Tensor();
+}
+
+bool Var::requires_grad() const { return defined() && impl_->requires_grad; }
+
+bool Var::is_param() const { return defined() && impl_->is_param; }
+
+const std::string& Var::name() const {
+  static const std::string empty;
+  return defined() ? impl_->name : empty;
+}
+
+std::shared_ptr<Node> Var::grad_fn() const {
+  return defined() ? impl_->grad_fn : nullptr;
+}
+
+void Var::set_grad_fn(std::shared_ptr<Node> fn) {
+  MLS_CHECK(defined());
+  impl_->grad_fn = std::move(fn);
+}
+
+Var Var::detach() const {
+  if (!defined()) return Var();
+  return Var(impl_->value, /*requires_grad=*/false);
+}
+
+namespace {
+bool& grad_mode_flag() {
+  thread_local bool enabled = true;
+  return enabled;
+}
+}  // namespace
+
+bool GradMode::enabled() { return grad_mode_flag(); }
+
+void GradMode::set_enabled(bool e) { grad_mode_flag() = e; }
+
+}  // namespace mls::ag

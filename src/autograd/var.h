@@ -1,0 +1,98 @@
+// Var: a tensor participating in reverse-mode automatic differentiation.
+//
+// The graph is a classic define-by-run tape: each differentiable op
+// creates a Node holding (a) strong references to its input Vars and
+// (b) SavedTensors for whatever its backward needs. SavedTensors charge
+// the per-rank MemoryTracker, so "activation memory" in this codebase
+// is *defined* as the bytes autograd keeps alive for backward — the
+// same definition the paper uses (§4: "'activations' refers to any
+// tensor that is created in the forward pass and is necessary for
+// gradient computation during back-propagation").
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace mls::ag {
+
+class Node;
+
+struct VarImpl {
+  Tensor value;
+  Tensor grad;  // undefined until first accumulation
+  bool requires_grad = false;
+  bool is_param = false;  // parameters are excluded from activation accounting
+  std::shared_ptr<Node> grad_fn;  // null for leaves
+  std::string name;               // debug / diagnostics
+};
+
+class Var {
+ public:
+  Var() = default;
+  explicit Var(Tensor value, bool requires_grad = false);
+  // A trainable parameter: requires grad and is excluded from the
+  // activation-memory accounting (the paper's definition excludes
+  // "the main parameters of the model").
+  static Var param(Tensor value, std::string name = {});
+
+  bool defined() const { return impl_ != nullptr; }
+  const Tensor& value() const;
+  Tensor& mutable_value();
+  const Tensor& grad() const;
+  bool has_grad() const;
+  void accumulate_grad(const Tensor& g);
+  void zero_grad();
+  bool requires_grad() const;
+  bool is_param() const;
+  const std::string& name() const;
+
+  std::shared_ptr<Node> grad_fn() const;
+  void set_grad_fn(std::shared_ptr<Node> fn);
+  const std::shared_ptr<VarImpl>& impl() const { return impl_; }
+
+  // A new Var sharing the same tensor but cut off from the graph.
+  Var detach() const;
+
+  // Convenience accessors.
+  const Shape& shape() const { return value().shape(); }
+  int64_t numel() const { return value().numel(); }
+  float item() const { return value().item(); }
+
+ private:
+  std::shared_ptr<VarImpl> impl_;
+};
+
+// Thread-local (= per simulated rank) autograd mode. When disabled, ops
+// compute values only: no nodes, no saved tensors. Checkpoint regions
+// run their first forward pass in this mode.
+class GradMode {
+ public:
+  static bool enabled();
+  static void set_enabled(bool e);
+};
+
+class NoGradGuard {
+ public:
+  NoGradGuard() : prev_(GradMode::enabled()) { GradMode::set_enabled(false); }
+  ~NoGradGuard() { GradMode::set_enabled(prev_); }
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+class EnableGradGuard {
+ public:
+  EnableGradGuard() : prev_(GradMode::enabled()) { GradMode::set_enabled(true); }
+  ~EnableGradGuard() { GradMode::set_enabled(prev_); }
+  EnableGradGuard(const EnableGradGuard&) = delete;
+  EnableGradGuard& operator=(const EnableGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace mls::ag

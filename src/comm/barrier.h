@@ -1,0 +1,57 @@
+// A reusable rendezvous barrier with poisoning.
+//
+// std::barrier deadlocks the whole simulation if one rank throws while
+// the others wait. This barrier instead supports poison(): a failing
+// rank poisons the barrier before unwinding, waking every waiter with
+// an Error so the SPMD launcher can collect and rethrow the original
+// failure. A generous timeout catches genuine deadlocks in tests.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/check.h"
+
+namespace mls::comm {
+
+class Barrier {
+ public:
+  explicit Barrier(int parties) : parties_(parties) {}
+
+  // Blocks until all parties arrive. Throws Error if poisoned or if the
+  // wait exceeds the timeout (indicating a lost rank).
+  void arrive_and_wait(std::chrono::seconds timeout = std::chrono::seconds(120)) {
+    std::unique_lock<std::mutex> lock(mu_);
+    MLS_CHECK(!poisoned_) << "barrier poisoned (another rank failed)";
+    const uint64_t gen = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    const bool ok = cv_.wait_for(lock, timeout, [&] {
+      return generation_ != gen || poisoned_;
+    });
+    MLS_CHECK(ok) << "barrier timeout: a rank stopped participating";
+    MLS_CHECK(!poisoned_) << "barrier poisoned (another rank failed)";
+  }
+
+  // Wakes all current and future waiters with an error.
+  void poison() {
+    std::lock_guard<std::mutex> lock(mu_);
+    poisoned_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int parties_;
+  int arrived_ = 0;
+  uint64_t generation_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace mls::comm

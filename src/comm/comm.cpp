@@ -1,0 +1,269 @@
+#include "comm/comm.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "comm/barrier.h"
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace mls::comm {
+
+// Shared state of one communicator. All rank threads hold the same
+// World via shared_ptr; per-collective staging goes through `bufs`.
+class World {
+ public:
+  explicit World(int size) : size(size), barrier(size), bufs(size, nullptr) {}
+
+  const int size;
+  Barrier barrier;
+  std::vector<float*> bufs;
+  std::vector<int> split_colors = std::vector<int>(static_cast<size_t>(size), 0);
+  Mailbox mailbox;
+
+  std::mutex split_mu;
+  std::map<int, std::shared_ptr<World>> pending_splits;
+  std::vector<std::weak_ptr<World>> children;
+
+  void poison() {
+    barrier.poison();
+    mailbox.poison();
+    std::lock_guard<std::mutex> lock(split_mu);
+    for (auto& w : children) {
+      if (auto c = w.lock()) c->poison();
+    }
+  }
+};
+
+Comm::Comm(std::shared_ptr<World> world, int rank)
+    : world_(std::move(world)), rank_(rank), stats_(std::make_shared<TrafficStats>()) {}
+
+std::vector<Comm> Comm::create_group(int size) {
+  MLS_CHECK_GE(size, 1);
+  auto world = std::make_shared<World>(size);
+  std::vector<Comm> comms;
+  comms.reserve(static_cast<size_t>(size));
+  for (int r = 0; r < size; ++r) comms.push_back(Comm(world, r));
+  return comms;
+}
+
+int Comm::size() const { return world_ ? world_->size : 1; }
+
+void Comm::barrier() {
+  MLS_CHECK(valid());
+  world_->barrier.arrive_and_wait();
+}
+
+namespace {
+// Chunk i of a length-n buffer divided into `parties` near-equal parts.
+int64_t chunk_ofs(int64_t n, int parties, int i) {
+  return n * i / parties;
+}
+int mod(int a, int m) { return ((a % m) + m) % m; }
+}  // namespace
+
+// Ring reduce-scatter over the ranks' registered buffers (in place).
+// After completion, rank r's chunk r holds the full sum. Precondition:
+// all buffers registered in world->bufs and a barrier has been passed.
+// Returns bytes received by this rank.
+static int64_t ring_reduce_scatter_inplace(World& w, int rank, int64_t n,
+                                           int64_t elem_bytes,
+                                           ReduceOp op = ReduceOp::Sum) {
+  const int T = w.size;
+  int64_t received = 0;
+  for (int s = 0; s <= T - 2; ++s) {
+    const int c = mod(rank - 2 - s, T);
+    const int64_t lo = chunk_ofs(n, T, c);
+    const int64_t hi = chunk_ofs(n, T, c + 1);
+    float* mine = w.bufs[static_cast<size_t>(rank)];
+    const float* left = w.bufs[static_cast<size_t>(mod(rank - 1, T))];
+    if (op == ReduceOp::Sum) {
+      for (int64_t k = lo; k < hi; ++k) mine[k] += left[k];
+    } else {
+      for (int64_t k = lo; k < hi; ++k) mine[k] = std::max(mine[k], left[k]);
+    }
+    received += (hi - lo) * elem_bytes;
+    w.barrier.arrive_and_wait();
+  }
+  return received;
+}
+
+// Ring all-gather: precondition is that rank r's chunk r is final (the
+// post-reduce-scatter state, or each rank's own shard for a pure
+// all-gather). Afterwards every rank holds all chunks.
+static int64_t ring_all_gather_inplace(World& w, int rank, int64_t n,
+                                       int64_t elem_bytes) {
+  const int T = w.size;
+  int64_t received = 0;
+  for (int s = 0; s <= T - 2; ++s) {
+    const int c = mod(rank - 1 - s, T);
+    const int64_t lo = chunk_ofs(n, T, c);
+    const int64_t hi = chunk_ofs(n, T, c + 1);
+    float* mine = w.bufs[static_cast<size_t>(rank)];
+    const float* left = w.bufs[static_cast<size_t>(mod(rank - 1, T))];
+    std::memcpy(mine + lo, left + lo, sizeof(float) * static_cast<size_t>(hi - lo));
+    received += (hi - lo) * elem_bytes;
+    w.barrier.arrive_and_wait();
+  }
+  return received;
+}
+
+void Comm::all_reduce(Tensor& t, ReduceOp op) {
+  MLS_CHECK(valid());
+  ++stats_->all_reduce_count;
+  if (size() == 1) return;
+  const int64_t n = t.numel();
+  const int64_t eb = byte_size(t.dtype());
+  world_->bufs[static_cast<size_t>(rank_)] = t.data();
+  world_->barrier.arrive_and_wait();
+  stats_->bytes_received += ring_reduce_scatter_inplace(*world_, rank_, n, eb, op);
+  stats_->bytes_received += ring_all_gather_inplace(*world_, rank_, n, eb);
+  world_->barrier.arrive_and_wait();
+}
+
+Tensor Comm::all_gather(const Tensor& shard, int dim) {
+  MLS_CHECK(valid());
+  ++stats_->all_gather_count;
+  if (size() == 1) return shard.clone();
+  dim = shard.shape().normalize_axis(dim);
+  const int T = size();
+  const int64_t shard_elems = shard.numel();
+  // Stage the result as [T, shard]: chunk i is rank i's shard.
+  Tensor stacked = Tensor::empty(Shape{{T * shard_elems}}, shard.dtype());
+  std::memcpy(stacked.data() + rank_ * shard_elems, shard.data(),
+              sizeof(float) * static_cast<size_t>(shard_elems));
+  world_->bufs[static_cast<size_t>(rank_)] = stacked.data();
+  world_->barrier.arrive_and_wait();
+  stats_->bytes_received += ring_all_gather_inplace(
+      *world_, rank_, T * shard_elems, byte_size(shard.dtype()));
+  world_->barrier.arrive_and_wait();
+
+  if (dim == 0) {
+    // Chunks are already contiguous along dim 0.
+    return stacked.reshape(shard.shape().with_dim(0, shard.dim(0) * T));
+  }
+  // Reassemble along an inner dimension.
+  std::vector<int64_t> chunk_dims = {T};
+  for (auto d : shard.shape().dims()) chunk_dims.push_back(d);
+  Tensor chunks = stacked.reshape(Shape(chunk_dims));
+  std::vector<Tensor> parts;
+  parts.reserve(static_cast<size_t>(T));
+  for (int i = 0; i < T; ++i) {
+    parts.push_back(ops::slice(chunks, 0, i, 1).reshape(shard.shape()));
+  }
+  return ops::cat(parts, dim);
+}
+
+Tensor Comm::reduce_scatter(const Tensor& full, int dim) {
+  MLS_CHECK(valid());
+  ++stats_->reduce_scatter_count;
+  if (size() == 1) return full.clone();
+  dim = full.shape().normalize_axis(dim);
+  const int T = size();
+  MLS_CHECK_EQ(full.dim(dim) % T, 0)
+      << "reduce_scatter dim " << dim << " of " << full.shape().str();
+
+  // Bring `dim` to the front so each rank's chunk is contiguous.
+  Tensor staged;
+  std::vector<int> perm, inv_perm;
+  if (dim == 0) {
+    staged = full.clone();
+  } else {
+    perm.push_back(dim);
+    for (int i = 0; i < full.ndim(); ++i)
+      if (i != dim) perm.push_back(i);
+    staged = ops::permute(full, perm);
+  }
+  const int64_t n = staged.numel();
+  world_->bufs[static_cast<size_t>(rank_)] = staged.data();
+  world_->barrier.arrive_and_wait();
+  stats_->bytes_received +=
+      ring_reduce_scatter_inplace(*world_, rank_, n, byte_size(full.dtype()));
+  world_->barrier.arrive_and_wait();
+
+  const int64_t chunk = n / T;
+  Tensor mine = Tensor::empty(staged.shape().with_dim(0, staged.dim(0) / T),
+                              full.dtype());
+  std::memcpy(mine.data(), staged.data() + rank_ * chunk,
+              sizeof(float) * static_cast<size_t>(chunk));
+  if (dim == 0) return mine;
+  // Undo the permutation.
+  std::vector<int> inverse(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i)
+    inverse[static_cast<size_t>(perm[i])] = static_cast<int>(i);
+  return ops::permute(mine, inverse);
+}
+
+void Comm::broadcast(Tensor& t, int root) {
+  MLS_CHECK(valid());
+  ++stats_->broadcast_count;
+  if (size() == 1) return;
+  world_->bufs[static_cast<size_t>(rank_)] = t.data();
+  world_->barrier.arrive_and_wait();
+  if (rank_ != root) {
+    std::memcpy(t.data(), world_->bufs[static_cast<size_t>(root)],
+                sizeof(float) * static_cast<size_t>(t.numel()));
+    stats_->bytes_received += t.logical_bytes();
+  }
+  world_->barrier.arrive_and_wait();
+}
+
+Comm Comm::split(int color) const {
+  MLS_CHECK(valid());
+  world_->split_colors[static_cast<size_t>(rank_)] = color;
+  world_->barrier.arrive_and_wait();
+
+  // Compute my sub-group membership.
+  std::vector<int> members;
+  for (int r = 0; r < world_->size; ++r) {
+    if (world_->split_colors[static_cast<size_t>(r)] == color) members.push_back(r);
+  }
+  int sub_rank = -1;
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (members[i] == rank_) sub_rank = static_cast<int>(i);
+  }
+  MLS_CHECK_GE(sub_rank, 0);
+
+  // The lowest member of each color creates the sub-world.
+  if (members[0] == rank_) {
+    auto sub = std::make_shared<World>(static_cast<int>(members.size()));
+    std::lock_guard<std::mutex> lock(world_->split_mu);
+    world_->pending_splits[color] = sub;
+    world_->children.push_back(sub);
+  }
+  world_->barrier.arrive_and_wait();
+
+  std::shared_ptr<World> sub;
+  {
+    std::lock_guard<std::mutex> lock(world_->split_mu);
+    sub = world_->pending_splits.at(color);
+  }
+  world_->barrier.arrive_and_wait();
+  // Leader cleans up the registry so the next split starts fresh.
+  if (members[0] == rank_) {
+    std::lock_guard<std::mutex> lock(world_->split_mu);
+    world_->pending_splits.erase(color);
+  }
+  return Comm(std::move(sub), sub_rank);
+}
+
+void Comm::send(int dst, int tag, const Tensor& t) {
+  MLS_CHECK(valid());
+  ++stats_->p2p_send_count;
+  stats_->p2p_bytes_sent += t.logical_bytes();
+  // Clone: the receiver owns its copy (wire semantics).
+  world_->mailbox.send(rank_, dst, tag, t.clone());
+}
+
+Tensor Comm::recv(int src, int tag) {
+  MLS_CHECK(valid());
+  return world_->mailbox.recv(src, rank_, tag);
+}
+
+void Comm::poison() {
+  if (world_) world_->poison();
+}
+
+}  // namespace mls::comm

@@ -1,0 +1,39 @@
+#include "comm/mailbox.h"
+
+#include "common/check.h"
+
+namespace mls::comm {
+
+void Mailbox::send(int src, int dst, int tag, Tensor t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_bytes_ += t.logical_bytes();
+  queues_[{src, dst, tag}].push_back(std::move(t));
+  cv_.notify_all();
+}
+
+Tensor Mailbox::recv(int src, int dst, int tag, std::chrono::seconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const Key key{src, dst, tag};
+  const bool ok = cv_.wait_for(lock, timeout, [&] {
+    return poisoned_ || (queues_.count(key) && !queues_[key].empty());
+  });
+  MLS_CHECK(ok) << "mailbox recv timeout (src=" << src << " dst=" << dst
+                << " tag=" << tag << ")";
+  MLS_CHECK(!poisoned_) << "mailbox poisoned (another rank failed)";
+  Tensor t = std::move(queues_[key].front());
+  queues_[key].pop_front();
+  return t;
+}
+
+void Mailbox::poison() {
+  std::lock_guard<std::mutex> lock(mu_);
+  poisoned_ = true;
+  cv_.notify_all();
+}
+
+int64_t Mailbox::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_;
+}
+
+}  // namespace mls::comm

@@ -1,0 +1,40 @@
+// Point-to-point message channels for pipeline parallelism.
+//
+// Channels are keyed by (src, dst, tag); send enqueues a tensor, recv
+// blocks until one is available. This models NCCL send/recv between
+// pipeline stages over InfiniBand; the perf model (src/perf) charges
+// the corresponding wire time analytically.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "tensor/tensor.h"
+
+namespace mls::comm {
+
+class Mailbox {
+ public:
+  void send(int src, int dst, int tag, Tensor t);
+  // Blocks; throws Error on poison or timeout.
+  Tensor recv(int src, int dst, int tag,
+              std::chrono::seconds timeout = std::chrono::seconds(120));
+  void poison();
+
+  // Total bytes enqueued (logical dtype bytes), for traffic assertions.
+  int64_t total_bytes() const;
+
+ private:
+  using Key = std::tuple<int, int, int>;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<Key, std::deque<Tensor>> queues_;
+  int64_t total_bytes_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace mls::comm

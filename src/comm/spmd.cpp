@@ -1,0 +1,38 @@
+#include "comm/spmd.h"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mls::spmd {
+
+void run(int world_size, const RankFn& fn) {
+  MLS_CHECK_GE(world_size, 1);
+  auto comms = comm::Comm::create_group(world_size);
+
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(world_size));
+  for (int r = 0; r < world_size; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        fn(comms[static_cast<size_t>(r)]);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        comms[static_cast<size_t>(r)].poison();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace mls::spmd

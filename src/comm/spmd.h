@@ -1,0 +1,18 @@
+// SPMD launcher: runs one function per simulated rank, each on its own
+// thread (with its own thread_local MemoryTracker, i.e. its own "GPU
+// memory"). If any rank throws, the communicator is poisoned so every
+// other rank unblocks, and the first exception is rethrown to the
+// caller.
+#pragma once
+
+#include <functional>
+
+#include "comm/comm.h"
+
+namespace mls::spmd {
+
+using RankFn = std::function<void(comm::Comm&)>;
+
+void run(int world_size, const RankFn& fn);
+
+}  // namespace mls::spmd

@@ -1,0 +1,76 @@
+// Error-checking macros used throughout the library.
+//
+// All invariant violations throw mls::Error (derived from
+// std::runtime_error) with a message that includes the failing
+// expression and source location. We use exceptions rather than abort()
+// so that the SPMD launcher can capture a failure on one simulated rank
+// and re-throw it on the launching thread.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mls {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+// Accumulates an error message via operator<< and throws on destruction
+// of the temporary (by being passed to ThrowError).
+[[noreturn]] inline void throw_error(const std::string& msg) { throw Error(msg); }
+
+class MessageBuilder {
+ public:
+  MessageBuilder(const char* file, int line, const char* expr) {
+    stream_ << file << ":" << line << ": check failed: " << expr;
+    has_detail_ = false;
+  }
+  template <typename T>
+  MessageBuilder& operator<<(const T& v) {
+    if (!has_detail_) {
+      stream_ << " — ";
+      has_detail_ = true;
+    }
+    stream_ << v;
+    return *this;
+  }
+  [[noreturn]] void done() const { throw_error(stream_.str()); }
+
+ private:
+  std::ostringstream stream_;
+  bool has_detail_;
+};
+
+// Helper that turns the builder into a throw inside an expression.
+struct Thrower {
+  [[noreturn]] void operator&(MessageBuilder& b) { b.done(); }
+  [[noreturn]] void operator&(MessageBuilder&& b) { b.done(); }
+};
+
+}  // namespace detail
+}  // namespace mls
+
+// MLS_CHECK(cond) << "extra context";
+#define MLS_CHECK(cond)                                             \
+  if (cond) {                                                       \
+  } else /* NOLINT */                                               \
+    ::mls::detail::Thrower{} &                                      \
+        ::mls::detail::MessageBuilder(__FILE__, __LINE__, #cond)
+
+#define MLS_CHECK_EQ(a, b) \
+  MLS_CHECK((a) == (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define MLS_CHECK_NE(a, b) \
+  MLS_CHECK((a) != (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define MLS_CHECK_LT(a, b) \
+  MLS_CHECK((a) < (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define MLS_CHECK_LE(a, b) \
+  MLS_CHECK((a) <= (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define MLS_CHECK_GT(a, b) \
+  MLS_CHECK((a) > (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define MLS_CHECK_GE(a, b) \
+  MLS_CHECK((a) >= (b)) << "lhs=" << (a) << " rhs=" << (b) << " "

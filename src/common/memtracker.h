@@ -1,0 +1,82 @@
+// MemoryTracker: per-rank runtime accounting of activation memory.
+//
+// Every tensor the autograd layer saves for the backward pass is
+// charged here with its *logical* byte size (fp16 activations = 2 B,
+// dropout masks = 1 B, fp32 logits = 4 B — see tensor/dtype.h), and
+// released when the backward pass consumes it. This makes the measured
+// numbers directly comparable to the paper's formulas (§4, Table 2).
+//
+// Bytes are split into two classes, mirroring the paper's approximation
+// in §4 ("we only consider the main contributors to the memory and
+// ignore small buffers"):
+//   * major — sbh-scale tensors; compared exactly against the formulas.
+//   * minor — sb-scale buffers (layer-norm mean/rstd, loss scalars);
+//     tracked so tests can assert they are indeed negligible.
+//
+// The tracker is thread_local: each simulated rank (one thread) owns an
+// independent instance, exactly like per-GPU memory.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mls {
+
+class MemoryTracker {
+ public:
+  // The calling thread's (i.e. the calling rank's) tracker.
+  static MemoryTracker& instance();
+
+  // Charges `bytes` under the current scope; returns the fully-scoped
+  // tag, which the caller must pass back to on_release (releases often
+  // happen during backward, after the saving scope has been popped).
+  std::string on_save(int64_t bytes, const std::string& tag, bool major = true);
+  void on_release(int64_t bytes, const std::string& scoped_tag, bool major = true);
+
+  // Extra non-activation allocations worth profiling (e.g. a pipeline
+  // stage's received-input buffers). Counted separately.
+  void on_alloc_extra(int64_t bytes);
+  void on_free_extra(int64_t bytes);
+
+  int64_t current_bytes() const { return current_major_ + current_minor_; }
+  int64_t current_major_bytes() const { return current_major_; }
+  int64_t current_minor_bytes() const { return current_minor_; }
+  int64_t peak_bytes() const { return peak_; }
+  int64_t extra_bytes() const { return extra_; }
+
+  // Per-tag live bytes (major + minor), for breakdown tables.
+  const std::map<std::string, int64_t>& by_tag() const { return by_tag_; }
+
+  void reset();
+
+  // Scope labels: tags are prefixed with the current scope path, so a
+  // breakdown can distinguish e.g. "layer0/attn/softmax".
+  void push_scope(const std::string& name);
+  void pop_scope();
+  std::string scoped(const std::string& tag) const;
+
+ private:
+  void update_peak();
+
+  int64_t current_major_ = 0;
+  int64_t current_minor_ = 0;
+  int64_t peak_ = 0;
+  int64_t extra_ = 0;
+  std::map<std::string, int64_t> by_tag_;
+  std::vector<std::string> scopes_;
+};
+
+// RAII scope label.
+class TrackerScope {
+ public:
+  explicit TrackerScope(const std::string& name) {
+    MemoryTracker::instance().push_scope(name);
+  }
+  ~TrackerScope() { MemoryTracker::instance().pop_scope(); }
+  TrackerScope(const TrackerScope&) = delete;
+  TrackerScope& operator=(const TrackerScope&) = delete;
+};
+
+}  // namespace mls

@@ -1,0 +1,81 @@
+// Shape: a small value type describing tensor dimensions.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mls {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) { validate(); }
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) { validate(); }
+
+  int ndim() const { return static_cast<int>(dims_.size()); }
+  int64_t dim(int i) const {
+    i = normalize_axis(i);
+    return dims_[static_cast<size_t>(i)];
+  }
+  int64_t operator[](int i) const { return dim(i); }
+
+  int64_t numel() const {
+    return std::accumulate(dims_.begin(), dims_.end(), int64_t{1},
+                           std::multiplies<int64_t>());
+  }
+
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  // Returns a copy with dimension `axis` replaced by `value`.
+  Shape with_dim(int axis, int64_t value) const {
+    Shape s = *this;
+    s.dims_[static_cast<size_t>(normalize_axis(axis))] = value;
+    return s;
+  }
+
+  // Converts a negative axis (Python style) to a non-negative one.
+  int normalize_axis(int axis) const {
+    const int n = ndim();
+    if (axis < 0) axis += n;
+    MLS_CHECK(axis >= 0 && axis < n) << "axis " << axis << " out of range for " << str();
+    return axis;
+  }
+
+  // Row-major (C order) strides in elements.
+  std::vector<int64_t> strides() const {
+    std::vector<int64_t> st(dims_.size(), 1);
+    for (int i = ndim() - 2; i >= 0; --i)
+      st[static_cast<size_t>(i)] =
+          st[static_cast<size_t>(i + 1)] * dims_[static_cast<size_t>(i + 1)];
+    return st;
+  }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  std::string str() const {
+    std::string s = "[";
+    for (size_t i = 0; i < dims_.size(); ++i) {
+      if (i) s += ", ";
+      s += std::to_string(dims_[i]);
+    }
+    return s + "]";
+  }
+
+ private:
+  void validate() const {
+    for (int64_t d : dims_) MLS_CHECK_GE(d, 0) << "negative dim in " << str();
+  }
+  std::vector<int64_t> dims_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Shape& s) {
+  return os << s.str();
+}
+
+}  // namespace mls

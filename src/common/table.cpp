@@ -1,0 +1,62 @@
+#include "common/table.h"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace mls {
+
+const std::string Table::kSep = "\x01__sep__";
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  MLS_CHECK_EQ(row.size(), header_.size()) << "row width mismatch";
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_separator() { rows_.push_back({kSep}); }
+
+std::string Table::str() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSep) continue;
+    for (size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto hline = [&] {
+    std::string s = "+";
+    for (size_t w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      s += " " + cells[c] + std::string(widths[c] - cells[c].size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::string out = hline() + line(header_) + hline();
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    const bool sep = rows_[i].size() == 1 && rows_[i][0] == kSep;
+    if (sep && i + 1 == rows_.size()) continue;  // closing hline follows
+    out += sep ? hline() : line(rows_[i]);
+  }
+  out += hline();
+  return out;
+}
+
+void Table::print() const { std::cout << str() << std::flush; }
+
+std::string fmt(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace mls

@@ -1,0 +1,33 @@
+// Minimal ASCII table printer used by the benchmark harnesses to emit
+// paper-style tables (Table 2, 4, 5, ...).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mls {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Adds a row; must have the same number of cells as the header.
+  void add_row(std::vector<std::string> row);
+  // Inserts a horizontal separator before the next row.
+  void add_separator();
+
+  std::string str() const;
+  // Prints to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  // A row with the special value {kSep} renders as a separator.
+  std::vector<std::vector<std::string>> rows_;
+  static const std::string kSep;
+};
+
+// Convenience: format a double with the given precision.
+std::string fmt(double v, int decimals = 2);
+
+}  // namespace mls

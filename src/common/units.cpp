@@ -1,0 +1,46 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mls {
+
+double bytes_to_gb(double bytes) { return bytes / (1024.0 * 1024.0 * 1024.0); }
+
+namespace {
+std::string format_with_suffix(double v, const char* const* suffixes, int count,
+                               double base) {
+  int i = 0;
+  while (std::fabs(v) >= base && i < count - 1) {
+    v /= base;
+    ++i;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", v, suffixes[i]);
+  return buf;
+}
+}  // namespace
+
+std::string format_bytes(double bytes) {
+  static const char* suffixes[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  return format_with_suffix(bytes, suffixes, 6, 1024.0);
+}
+
+std::string format_flops(double flops) {
+  static const char* suffixes[] = {"FLOP", "KFLOP", "MFLOP", "GFLOP", "TFLOP", "PFLOP"};
+  return format_with_suffix(flops, suffixes, 6, 1000.0);
+}
+
+std::string format_time_ms(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  return buf;
+}
+
+std::string format_percent(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace mls

@@ -1,0 +1,61 @@
+// ParallelEnv: the per-rank execution context for the paper's parallel
+// transformer — the tensor-parallel communicator plus the switches for
+// the two techniques under study.
+#pragma once
+
+#include <cstdint>
+
+#include "comm/comm.h"
+
+namespace mls::core {
+
+// Which activations to recompute (paper §5).
+enum class Recompute {
+  kNone,       // store everything (baseline "no recompute")
+  kSelective,  // checkpoint only the attention core (Fig 3 red box)
+  kFull,       // checkpoint whole transformer layers
+};
+
+const char* recompute_name(Recompute r);
+
+struct ParallelEnv {
+  // Tensor-parallel group. Size 1 == serial execution (the reference
+  // used by the equivalence tests).
+  comm::Comm tp;
+
+  // Partition layer-norms / dropouts / residual stream along the
+  // sequence dimension (paper §4.2.2). Requires s % tp.size() == 0.
+  bool sequence_parallel = false;
+
+  // §4.2.2 final paragraph: with sequence parallelism, store only this
+  // rank's Y-shard for linear-layer backward and re-all-gather it
+  // during back-propagation. On by default (as in the paper); exposed
+  // as a switch for the ablation bench.
+  bool sharded_input_save = true;
+
+  Recompute recompute = Recompute::kNone;
+
+  // Base seed; all dropout masks derive from (seed, site, microbatch).
+  uint64_t seed = 0x5eed;
+  // Advanced by the trainer so every microbatch gets fresh dropout.
+  int64_t microbatch = 0;
+  // Inference mode: dropout layers become identities (p = 0).
+  bool inference = false;
+
+  float effective_dropout(float p) const { return inference ? 0.0f : p; }
+
+  int tp_rank() const { return tp.valid() ? tp.rank() : 0; }
+  int tp_size() const { return tp.valid() ? tp.size() : 1; }
+
+  // Deterministic dropout seed for a given dropout site id.
+  uint64_t dropout_seed(uint64_t site) const {
+    // splitmix64-style mixing of (seed, site, microbatch).
+    uint64_t x = seed + 0x9e3779b97f4a7c15ull * (site + 1) +
+                 0xbf58476d1ce4e5b9ull * static_cast<uint64_t>(microbatch + 1);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+};
+
+}  // namespace mls::core

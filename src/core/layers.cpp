@@ -1,0 +1,183 @@
+#include "core/layers.h"
+
+#include <cmath>
+
+#include "autograd/checkpoint.h"
+
+namespace mls::core {
+
+using ag::Var;
+
+namespace {
+
+// Every rank materializes the full weight from the shared master RNG,
+// then keeps its column/row shard — guaranteeing serial/parallel
+// parameter identity.
+Tensor full_randn(Shape shape, Rng& master, float stddev) {
+  return Tensor::randn(std::move(shape), master, stddev);
+}
+
+// Shards `full` along `dim`, treating that dimension as `blocks` equal
+// blocks and taking rank r's slice of each block.
+Tensor shard_blocked(const Tensor& full, int dim, int t, int r, int64_t blocks) {
+  const int64_t d = full.dim(dim);
+  MLS_CHECK_EQ(d % (blocks * t), 0);
+  const int64_t block = d / blocks;
+  const int64_t per_rank = block / t;
+  std::vector<Tensor> parts;
+  parts.reserve(static_cast<size_t>(blocks));
+  for (int64_t b = 0; b < blocks; ++b) {
+    parts.push_back(ops::slice(full, dim, b * block + r * per_rank, per_rank));
+  }
+  return blocks == 1 ? parts[0] : ops::cat(parts, dim);
+}
+
+}  // namespace
+
+// -------------------------------------------------- ColumnParallelLinear
+
+ColumnParallelLinear::ColumnParallelLinear(const ParallelEnv& env, int64_t in,
+                                           int64_t out, Rng& master,
+                                           float stddev, std::string name,
+                                           int64_t blocks)
+    : tag_(name) {
+  const int t = env.tp_size();
+  const int r = env.tp_rank();
+  Rng wrng = master.fork(std::hash<std::string>{}(name) | 1);
+  Tensor w_full = full_randn(Shape{{in, out}}, wrng, stddev);
+  Tensor b_full = Tensor::zeros(Shape{{out}});
+  weight = Var::param(shard_blocked(w_full, 1, t, r, blocks), name + ".weight");
+  bias = Var::param(shard_blocked(b_full, 0, t, r, blocks), name + ".bias");
+}
+
+Var ColumnParallelLinear::forward(const Var& x, const ParallelEnv& env) const {
+  Var y;
+  if (env.sequence_parallel) {
+    // g fused with the GEMM; §4.2.2's sharded-save optimization.
+    y = sp_gathered_matmul(x, weight, env.tp, /*trans_b=*/false,
+                           env.sharded_input_save, tag_ + "_in");
+  } else {
+    // f then GEMM; the replicated input is the saved activation.
+    Var xf = copy_to_tensor_parallel(x, env.tp);
+    y = ag::matmul(xf, weight, /*trans_b=*/false, tag_ + "_in");
+  }
+  return ag::add_bias(y, bias);
+}
+
+// ----------------------------------------------------- RowParallelLinear
+
+RowParallelLinear::RowParallelLinear(const ParallelEnv& env, int64_t in,
+                                     int64_t out, Rng& master, float stddev,
+                                     std::string name)
+    : tag_(name) {
+  const int t = env.tp_size();
+  const int r = env.tp_rank();
+  Rng wrng = master.fork(std::hash<std::string>{}(name) | 1);
+  Tensor w_full = full_randn(Shape{{in, out}}, wrng, stddev);
+  weight = Var::param(shard_blocked(w_full, 0, t, r, 1), name + ".weight");
+  bias = Var::param(Tensor::zeros(Shape{{out}}), name + ".bias");
+}
+
+Var RowParallelLinear::forward(const Var& x, const ParallelEnv& env) const {
+  Var y_partial = ag::matmul(x, weight, /*trans_b=*/false, tag_ + "_in");
+  Var y = env.sequence_parallel
+              ? scatter_to_sequence_parallel(y_partial, env.tp)   // ḡ
+              : reduce_from_tensor_parallel(y_partial, env.tp);  // f̄
+  return ag::add_bias(y, bias);
+}
+
+// -------------------------------------------------- ParallelSelfAttention
+
+ParallelSelfAttention::ParallelSelfAttention(const ParallelEnv& env, int64_t h,
+                                             int64_t a, float attn_dropout_p,
+                                             bool causal, uint64_t site_base,
+                                             Rng& master, std::string name)
+    : qkv(env, h, 3 * h, master, 0.02f, name + ".qkv", /*blocks=*/3),
+      proj(env, h, h, master, 0.02f, name + ".proj"),
+      h_(h),
+      a_(a),
+      dropout_p_(attn_dropout_p),
+      causal_(causal),
+      site_base_(site_base) {
+  MLS_CHECK_EQ(a % env.tp_size(), 0) << "heads must divide tp size";
+  MLS_CHECK_EQ(h % a, 0);
+}
+
+Var ParallelSelfAttention::forward(const Var& x, const ParallelEnv& env) const {
+  const int t = env.tp_size();
+  const int r = env.tp_rank();
+  const int64_t heads_local = a_ / t;
+  const int64_t d = h_ / a_;
+
+  Var qkv_out = qkv.forward(x, env);  // [s, b, 3h/t]
+  auto parts = ag::chunk(qkv_out, 3, /*dim=*/2);
+  Var q = ag::sbh_to_bhsd(parts[0], heads_local);  // [b*a/t, s, d]
+  Var k = ag::sbh_to_bhsd(parts[1], heads_local);
+  Var v = ag::sbh_to_bhsd(parts[2], heads_local);
+  q = ag::scale(q, 1.0f / std::sqrt(static_cast<float>(d)));
+
+  // The attention core (Fig 3's red dashed region): QKᵀ, softmax,
+  // softmax-dropout, attention over V. Under selective recomputation
+  // this whole region is checkpointed with Q/K/V as the stored inputs;
+  // everything inside (the 5as²b/t bytes) is recomputed in backward.
+  const uint64_t seed = env.dropout_seed(site_base_ + 0);
+  const int64_t bh = q.value().dim(0);
+  const int64_t s_full = q.value().dim(1);
+  const int64_t b = bh / heads_local;
+  const float p = env.effective_dropout(dropout_p_);
+  const bool causal = causal_;
+  const int64_t a_total = a_;
+  auto attn_core = [seed, heads_local, r, a_total, b, s_full, p,
+                    causal](const std::vector<Var>& ins) {
+    Var scores = ag::bmm(ins[0], ins[1], /*trans_b=*/true, "attn_qk");
+    Var probs = ag::softmax(scores, causal, "attn_softmax_out");
+    // Mask coordinates live in the global [b, a, s, s] tensor so all
+    // shardings (and the serial reference) draw identical masks.
+    ops::IndexMap map;
+    map.dims = {b, heads_local, s_full, s_full};
+    map.strides = {a_total * s_full * s_full, s_full * s_full, s_full, 1};
+    map.base = static_cast<int64_t>(r) * heads_local * s_full * s_full;
+    Var probs_d = ag::dropout(probs, p, seed, map, "attn_softmax_mask");
+    return ag::bmm(probs_d, ins[2], /*trans_b=*/false, "attn_av");
+  };
+
+  Var ctx = (env.recompute == Recompute::kSelective)
+                ? ag::checkpoint(attn_core, {q, k, v}, "attn_core_ckpt")
+                : attn_core({q, k, v});
+
+  Var ctx_sbh = ag::bhsd_to_sbh(ctx, heads_local);  // [s, b, h/t]
+  return proj.forward(ctx_sbh, env);
+}
+
+std::vector<Var> ParallelSelfAttention::params() const {
+  return {qkv.weight, qkv.bias, proj.weight, proj.bias};
+}
+
+// ---------------------------------------------------------- ParallelMLP
+
+ParallelMLP::ParallelMLP(const ParallelEnv& env, int64_t h, Rng& master,
+                         std::string name)
+    : lin1(env, h, 4 * h, master, 0.02f, name + ".lin1"),
+      lin2(env, 4 * h, h, master, 0.02f, name + ".lin2") {}
+
+Var ParallelMLP::forward(const Var& x, const ParallelEnv& env) const {
+  Var z = ag::gelu(lin1.forward(x, env), "mlp_gelu_in");
+  return lin2.forward(z, env);
+}
+
+std::vector<Var> ParallelMLP::params() const {
+  return {lin1.weight, lin1.bias, lin2.weight, lin2.bias};
+}
+
+// --------------------------------------------------- sync_replicated_grads
+
+void sync_replicated_grads(const std::vector<Var>& params, comm::Comm tp) {
+  if (!tp.valid() || tp.size() == 1) return;
+  for (const Var& p : params) {
+    if (!p.has_grad()) continue;
+    Tensor g = p.impl()->grad;
+    tp.all_reduce(g);
+  }
+}
+
+}  // namespace mls::core

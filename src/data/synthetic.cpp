@@ -1,0 +1,101 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mls::data {
+
+UniformDataset::UniformDataset(int64_t vocab, uint64_t seed)
+    : vocab_(vocab), rng_(seed) {}
+
+Batch UniformDataset::next_batch(int64_t s, int64_t b) {
+  Batch out;
+  out.tokens.resize(static_cast<size_t>(s * b));
+  out.targets.resize(out.tokens.size());
+  for (auto& t : out.tokens) t = static_cast<int64_t>(rng_.next_below(static_cast<uint64_t>(vocab_)));
+  for (auto& t : out.targets) t = static_cast<int64_t>(rng_.next_below(static_cast<uint64_t>(vocab_)));
+  return out;
+}
+
+ZipfDataset::ZipfDataset(int64_t vocab, double exponent, uint64_t seed)
+    : vocab_(vocab), rng_(seed) {
+  MLS_CHECK_GT(vocab, 0);
+  cdf_.resize(static_cast<size_t>(vocab));
+  double acc = 0;
+  for (int64_t i = 0; i < vocab; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[static_cast<size_t>(i)] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+}
+
+Batch ZipfDataset::next_batch(int64_t s, int64_t b) {
+  Batch out;
+  out.tokens.resize(static_cast<size_t>(s * b));
+  out.targets.resize(out.tokens.size());
+  auto draw = [&] {
+    const double u = rng_.next_uniform();
+    // Binary search the CDF.
+    int64_t lo = 0, hi = vocab_ - 1;
+    while (lo < hi) {
+      const int64_t mid = (lo + hi) / 2;
+      if (cdf_[static_cast<size_t>(mid)] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  };
+  for (auto& t : out.tokens) t = draw();
+  for (auto& t : out.targets) t = draw();
+  return out;
+}
+
+MarkovDataset::MarkovDataset(int64_t vocab, double fidelity, uint64_t seed)
+    : vocab_(vocab), fidelity_(fidelity), rng_(seed) {
+  MLS_CHECK(fidelity >= 0 && fidelity <= 1);
+  successor_.resize(static_cast<size_t>(vocab));
+  // A fixed random permutation: token i's "natural" successor.
+  for (int64_t i = 0; i < vocab; ++i) successor_[static_cast<size_t>(i)] = i;
+  for (int64_t i = vocab - 1; i > 0; --i) {
+    const int64_t j = static_cast<int64_t>(rng_.next_below(static_cast<uint64_t>(i + 1)));
+    std::swap(successor_[static_cast<size_t>(i)], successor_[static_cast<size_t>(j)]);
+  }
+}
+
+Batch MarkovDataset::next_batch(int64_t s, int64_t b) {
+  Batch out;
+  out.tokens.resize(static_cast<size_t>(s * b));
+  out.targets.resize(out.tokens.size());
+  // Layout is s-major ([s, b]); walk each column as a chain.
+  std::vector<int64_t> cur(static_cast<size_t>(b));
+  for (auto& c : cur) c = static_cast<int64_t>(rng_.next_below(static_cast<uint64_t>(vocab_)));
+  for (int64_t i = 0; i < s; ++i) {
+    for (int64_t j = 0; j < b; ++j) {
+      const int64_t tok = cur[static_cast<size_t>(j)];
+      const bool follow = rng_.next_uniform() < fidelity_;
+      const int64_t next =
+          follow ? successor_[static_cast<size_t>(tok)]
+                 : static_cast<int64_t>(rng_.next_below(static_cast<uint64_t>(vocab_)));
+      out.tokens[static_cast<size_t>(i * b + j)] = tok;
+      out.targets[static_cast<size_t>(i * b + j)] = next;
+      cur[static_cast<size_t>(j)] = next;
+    }
+  }
+  return out;
+}
+
+std::vector<Batch> make_microbatches(Dataset& ds, const model::ModelConfig& cfg) {
+  // One entry per microbatch of the *global* batch; with data
+  // parallelism each replica consumes its contiguous slice.
+  std::vector<Batch> out;
+  out.reserve(static_cast<size_t>(cfg.total_microbatches()));
+  for (int64_t i = 0; i < cfg.total_microbatches(); ++i) {
+    out.push_back(ds.next_batch(cfg.s, cfg.b));
+  }
+  return out;
+}
+
+}  // namespace mls::data

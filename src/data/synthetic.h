@@ -1,0 +1,73 @@
+// Synthetic token streams for the runnable examples and benches.
+//
+// The paper's results are data-independent (throughput/memory only), so
+// any token distribution exercises the same code paths; we provide a
+// few distributions so examples can show a loss actually decreasing on
+// learnable structure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "model/config.h"
+
+namespace mls::data {
+
+// One microbatch of language-model training data: tokens[i] predicts
+// targets[i] (the next token), both [s*b] in s-major order.
+struct Batch {
+  std::vector<int64_t> tokens;
+  std::vector<int64_t> targets;
+};
+
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+  virtual Batch next_batch(int64_t s, int64_t b) = 0;
+};
+
+// Uniform random tokens: irreducible loss ln(v); useful for throughput
+// measurements where learning is irrelevant.
+class UniformDataset : public Dataset {
+ public:
+  UniformDataset(int64_t vocab, uint64_t seed);
+  Batch next_batch(int64_t s, int64_t b) override;
+
+ private:
+  int64_t vocab_;
+  Rng rng_;
+};
+
+// Zipfian-distributed tokens (frequency rank-skewed like natural text).
+class ZipfDataset : public Dataset {
+ public:
+  ZipfDataset(int64_t vocab, double exponent, uint64_t seed);
+  Batch next_batch(int64_t s, int64_t b) override;
+
+ private:
+  int64_t vocab_;
+  std::vector<double> cdf_;
+  Rng rng_;
+};
+
+// First-order Markov chain over tokens: each token strongly predicts a
+// successor, so even a tiny model's loss drops well below ln(v) — the
+// quickstart example uses this to show real learning.
+class MarkovDataset : public Dataset {
+ public:
+  MarkovDataset(int64_t vocab, double fidelity, uint64_t seed);
+  Batch next_batch(int64_t s, int64_t b) override;
+
+ private:
+  int64_t vocab_;
+  double fidelity_;  // probability of following the chain vs random
+  std::vector<int64_t> successor_;
+  Rng rng_;
+};
+
+// Splits one [s * global_b] batch into per-microbatch vectors for the
+// pipeline engine.
+std::vector<Batch> make_microbatches(Dataset& ds, const model::ModelConfig& cfg);
+
+}  // namespace mls::data

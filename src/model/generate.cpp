@@ -1,0 +1,74 @@
+#include "model/generate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mls::model {
+
+namespace {
+
+uint64_t hash64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+int64_t sample(const Tensor& logits, float temperature, uint64_t seed,
+               int64_t step) {
+  const int64_t v = logits.numel();
+  const float* lp = logits.data();
+  if (temperature <= 0.0f) {
+    return static_cast<int64_t>(
+        std::max_element(lp, lp + v) - lp);
+  }
+  // Stable softmax at the given temperature, then inverse-CDF sampling
+  // with a deterministic per-step uniform (identical on all ranks).
+  float mx = lp[0];
+  for (int64_t i = 1; i < v; ++i) mx = std::max(mx, lp[i]);
+  double denom = 0;
+  std::vector<double> e(static_cast<size_t>(v));
+  for (int64_t i = 0; i < v; ++i) {
+    e[static_cast<size_t>(i)] = std::exp((lp[i] - mx) / temperature);
+    denom += e[static_cast<size_t>(i)];
+  }
+  const double u =
+      static_cast<double>(hash64(seed ^ static_cast<uint64_t>(step)) >> 11) *
+      0x1.0p-53 * denom;
+  double acc = 0;
+  for (int64_t i = 0; i < v; ++i) {
+    acc += e[static_cast<size_t>(i)];
+    if (acc >= u) return i;
+  }
+  return v - 1;
+}
+
+}  // namespace
+
+std::vector<int64_t> generate(GPTModel& model,
+                              const std::vector<int64_t>& prompt,
+                              const GenerateOptions& opts) {
+  const auto& cfg = model.config();
+  MLS_CHECK_EQ(cfg.b, 1) << "generation uses microbatch size 1";
+  MLS_CHECK(!prompt.empty());
+  MLS_CHECK_LE(static_cast<int64_t>(prompt.size()), cfg.s);
+
+  model.set_inference(true);
+  model.set_microbatch(0);
+  std::vector<int64_t> out = prompt;
+  for (int64_t step = 0; step < opts.max_new_tokens; ++step) {
+    // Window of the most recent <= s tokens, zero-padded to length s.
+    const int64_t start =
+        std::max<int64_t>(0, static_cast<int64_t>(out.size()) - cfg.s);
+    std::vector<int64_t> window(static_cast<size_t>(cfg.s), 0);
+    const int64_t len = static_cast<int64_t>(out.size()) - start;
+    for (int64_t i = 0; i < len; ++i)
+      window[static_cast<size_t>(i)] = out[static_cast<size_t>(start + i)];
+    Tensor logits = model.next_token_logits(window, len - 1);
+    out.push_back(sample(logits, opts.temperature, opts.seed, step));
+  }
+  model.set_inference(false);
+  return out;
+}
+
+}  // namespace mls::model

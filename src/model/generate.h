@@ -1,0 +1,29 @@
+// Autoregressive generation from a trained GPTModel.
+//
+// Greedy or temperature sampling over the full (gathered) vocabulary;
+// the sampling RNG is a pure function of (seed, step), so every
+// tensor-parallel rank draws the same token and the model state stays
+// consistent without extra communication. Requires a whole-model
+// instance with microbatch size 1; the context is the model's trained
+// sequence length (positions beyond it slide out of the window).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/gpt.h"
+
+namespace mls::model {
+
+struct GenerateOptions {
+  int64_t max_new_tokens = 16;
+  // 0 = greedy argmax; otherwise softmax(logits / temperature) sampling.
+  float temperature = 0.0f;
+  uint64_t seed = 1;
+};
+
+std::vector<int64_t> generate(GPTModel& model,
+                              const std::vector<int64_t>& prompt,
+                              const GenerateOptions& opts = {});
+
+}  // namespace mls::model

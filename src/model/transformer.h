@@ -1,0 +1,39 @@
+// A single transformer layer wired per the paper's Figures 2/4/5:
+//   LN → attention → dropout → residual → LN → MLP → dropout → residual
+// with the layer-norms, dropouts and residual stream living in the
+// (optionally sequence-parallel) outer region and the attention/MLP
+// blocks in the tensor-parallel region.
+#pragma once
+
+#include "core/layers.h"
+#include "model/config.h"
+
+namespace mls::model {
+
+class TransformerLayer {
+ public:
+  TransformerLayer(const core::ParallelEnv& env, const ModelConfig& cfg,
+                   int64_t layer_idx, Rng& master);
+
+  // x: [s, b, h] (TP) or [s/t, b, h] (TP+SP); same sharding out.
+  // env.recompute == kFull checkpoints the whole layer (storing only x);
+  // kSelective checkpoints the attention core inside the block.
+  ag::Var forward(const ag::Var& x, const core::ParallelEnv& env) const;
+
+  std::vector<ag::Var> params() const;
+  // Params needing TP grad all-reduce under sequence parallelism.
+  std::vector<ag::Var> replicated_params() const;
+
+  core::ParallelSelfAttention attn;
+  core::ParallelMLP mlp;
+  ag::Var ln1_gamma, ln1_beta, ln2_gamma, ln2_beta;
+
+ private:
+  ag::Var body(const ag::Var& x, const core::ParallelEnv& env) const;
+
+  int64_t s_, h_;
+  float dropout_p_, ln_eps_;
+  uint64_t site_base_;
+};
+
+}  // namespace mls::model

@@ -1,0 +1,58 @@
+#include "optim/optim.h"
+
+#include <cmath>
+
+namespace mls::optim {
+
+Sgd::Sgd(std::vector<ag::Var> params, float lr)
+    : params_(std::move(params)), lr_(lr) {}
+
+void Sgd::step() {
+  for (auto& p : params_) {
+    if (!p.has_grad()) continue;
+    p.mutable_value().add_(p.grad(), -lr_);
+  }
+}
+
+void Sgd::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+Adam::Adam(std::vector<ag::Var> params, float lr, float beta1, float beta2,
+           float eps)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.push_back(Tensor::zeros(p.value().shape(), Dtype::F32));
+    v_.push_back(Tensor::zeros(p.value().shape(), Dtype::F32));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    const float* g = p.grad().data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    float* w = p.mutable_value().data();
+    const int64_t n = p.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      w[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+}  // namespace mls::optim

@@ -1,0 +1,51 @@
+// Optimizers for the runnable examples and the equivalence tests.
+//
+// The simulator computes in fp32 throughout, so "mixed precision" here
+// is an accounting notion (see tensor/dtype.h); Adam keeps its moment
+// buffers explicitly, matching the 16-bytes/param model-state budget
+// used by the Figure 1 memory analysis (src/memory).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/var.h"
+
+namespace mls::optim {
+
+class Sgd {
+ public:
+  Sgd(std::vector<ag::Var> params, float lr);
+  void step();
+  void zero_grad();
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  std::vector<ag::Var> params_;
+  float lr_;
+};
+
+class Adam {
+ public:
+  Adam(std::vector<ag::Var> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+  void step();
+  void zero_grad();
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+  // Checkpointing access to the optimizer state.
+  std::vector<Tensor>& m_state() { return m_; }
+  std::vector<Tensor>& v_state() { return v_; }
+  int64_t step_count() const { return t_; }
+  void set_step_count(int64_t t) { t_ = t; }
+
+ private:
+  std::vector<ag::Var> params_;
+  std::vector<Tensor> m_, v_;
+  float lr_, beta1_, beta2_, eps_;
+  int64_t t_ = 0;
+};
+
+}  // namespace mls::optim

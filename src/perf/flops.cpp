@@ -1,0 +1,70 @@
+#include "perf/flops.h"
+
+namespace mls::perf {
+
+double layer_dense_gemm_flops(const model::ModelConfig& cfg) {
+  const double B = cfg.b, s = cfg.s, h = cfg.h;
+  return 24.0 * B * s * h * h;  // 6 (QKV) + 2 (proj) + 16 (MLP), ×Bsh²
+}
+
+double attention_core_flops(const model::ModelConfig& cfg) {
+  const double B = cfg.b, s = cfg.s, h = cfg.h;
+  return 4.0 * B * s * s * h;  // 2Bs²h (QKᵀ) + 2Bs²h (attn·V)
+}
+
+double layer_forward_flops(const model::ModelConfig& cfg) {
+  return layer_dense_gemm_flops(cfg) + attention_core_flops(cfg);
+}
+
+double logits_flops(const model::ModelConfig& cfg) {
+  const double B = cfg.b, s = cfg.s, h = cfg.h, v = cfg.v;
+  return 2.0 * B * s * h * v;
+}
+
+double model_flops_per_iteration(const model::ModelConfig& cfg) {
+  const double B = cfg.global_batch, s = cfg.s, h = cfg.h, L = cfg.L,
+               v = cfg.v;
+  return 72.0 * B * L * s * h * h *
+         (1.0 + s / (6.0 * h) + v / (12.0 * h * L));
+}
+
+double hardware_flops_per_iteration(const model::ModelConfig& cfg,
+                                    core::Recompute recompute) {
+  const double B = cfg.global_batch, s = cfg.s, h = cfg.h, L = cfg.L,
+               v = cfg.v;
+  switch (recompute) {
+    case core::Recompute::kNone:
+      return model_flops_per_iteration(cfg);
+    case core::Recompute::kSelective:
+      // Eq 8: the s/6h term triples (backward's 2x + one recompute).
+      return 72.0 * B * L * s * h * h *
+             (1.0 + s / (3.0 * h) + v / (12.0 * h * L));
+    case core::Recompute::kFull: {
+      // A full extra forward pass: +1/3 of the GEMM terms (fwd:bwd is
+      // 1:2), excluding nothing — the logits layer is not recomputed.
+      const double fwd = 24.0 * B * L * s * h * h * (1.0 + s / (6.0 * h));
+      return model_flops_per_iteration(cfg) + fwd;
+    }
+  }
+  return 0;
+}
+
+double hw_to_model_flops_ratio_approx(const model::ModelConfig& cfg) {
+  return 1.0 + static_cast<double>(cfg.s) / (6.0 * cfg.h);
+}
+
+double mfu(const model::ModelConfig& cfg, double iteration_seconds,
+           double peak_flops_per_gpu) {
+  return model_flops_per_iteration(cfg) /
+         (iteration_seconds * static_cast<double>(cfg.num_gpus()) *
+          peak_flops_per_gpu);
+}
+
+double hfu(const model::ModelConfig& cfg, core::Recompute recompute,
+           double iteration_seconds, double peak_flops_per_gpu) {
+  return hardware_flops_per_iteration(cfg, recompute) /
+         (iteration_seconds * static_cast<double>(cfg.num_gpus()) *
+          peak_flops_per_gpu);
+}
+
+}  // namespace mls::perf

@@ -1,0 +1,43 @@
+// FLOPs model — the paper's Appendix A.
+//
+// Model FLOPs (Eq 7) are implementation-independent; hardware FLOPs
+// (Eq 8) add the recomputed attention-core GEMMs of selective
+// recomputation (or a full extra forward pass under full
+// recomputation). MFU/HFU divide the respective FLOPs rate by the
+// accelerator peak (§6.3).
+#pragma once
+
+#include "core/env.h"
+#include "model/config.h"
+
+namespace mls::perf {
+
+// --- per-layer, per-microbatch building blocks (B = microbatch size) ---
+
+// 24 B s h² + 4 B s² h : one transformer layer's forward GEMM FLOPs.
+double layer_forward_flops(const model::ModelConfig& cfg);
+// 6Bsh² (QKV) + 2Bsh² (projection) + MLP 16Bsh² = dense GEMMs only.
+double layer_dense_gemm_flops(const model::ModelConfig& cfg);
+// 4 B s² h : QKᵀ + attention-over-V (the selective-recompute region).
+double attention_core_flops(const model::ModelConfig& cfg);
+// 2 B s h v : the logits GEMM.
+double logits_flops(const model::ModelConfig& cfg);
+
+// --- whole-iteration totals (B = global batch size) -------------------
+
+// Eq 7: 72 B L s h² (1 + s/6h + v/12hL).
+double model_flops_per_iteration(const model::ModelConfig& cfg);
+// Eq 8 for selective recomputation; generalized for the other modes:
+// kNone -> Eq 7, kFull -> adds a full extra forward pass.
+double hardware_flops_per_iteration(const model::ModelConfig& cfg,
+                                    core::Recompute recompute);
+// Eq 9: hardware/model ≈ 1 + s/6h (selective recomputation).
+double hw_to_model_flops_ratio_approx(const model::ModelConfig& cfg);
+
+// §6.3: FLOPs-rate / (gpus × peak).
+double mfu(const model::ModelConfig& cfg, double iteration_seconds,
+           double peak_flops_per_gpu);
+double hfu(const model::ModelConfig& cfg, core::Recompute recompute,
+           double iteration_seconds, double peak_flops_per_gpu);
+
+}  // namespace mls::perf

@@ -1,0 +1,37 @@
+// Per-transformer-layer execution-time model (per tensor-parallel rank,
+// per microbatch) — regenerates Table 4 and Figure 8.
+#pragma once
+
+#include "core/env.h"
+#include "memory/activation_model.h"
+#include "perf/machine.h"
+
+namespace mls::perf {
+
+struct LayerTime {
+  double forward = 0;    // seconds
+  double backward = 0;   // without recomputation
+  double recompute = 0;  // extra forward work in the backward pass
+  double combined() const { return forward + backward + recompute; }
+};
+
+// Time for one transformer layer under the given switches. `sp` =
+// sequence parallelism; `recompute` selects what is replayed in the
+// backward pass.
+LayerTime layer_time(const model::ModelConfig& cfg, const MachineModel& mm,
+                     bool sp, core::Recompute recompute);
+
+// Collective-time primitives (exposed for the comm microbench analysis
+// and tests).
+double all_reduce_time(const MachineModel& mm, double bytes, int t);
+double rs_or_ag_time(const MachineModel& mm, double bytes, int t);
+
+// Embedding / loss-head passes (used by the end-to-end model).
+double embedding_forward_time(const model::ModelConfig& cfg,
+                              const MachineModel& mm, bool sp);
+double head_forward_time(const model::ModelConfig& cfg, const MachineModel& mm);
+double head_backward_time(const model::ModelConfig& cfg, const MachineModel& mm);
+// Adam step over this rank's parameter shard.
+double optimizer_time(const model::ModelConfig& cfg, const MachineModel& mm);
+
+}  // namespace mls::perf

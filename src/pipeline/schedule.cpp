@@ -1,0 +1,123 @@
+#include "pipeline/schedule.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+
+namespace mls::pipeline {
+
+const char* schedule_name(Schedule s) {
+  switch (s) {
+    case Schedule::kGPipe: return "gpipe";
+    case Schedule::k1F1B: return "1f1b";
+    case Schedule::kInterleaved1F1B: return "interleaved-1f1b";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<Op> gpipe(int rank, int n_micro) {
+  (void)rank;
+  std::vector<Op> ops;
+  for (int i = 0; i < n_micro; ++i) ops.push_back({OpType::kForward, i, 0});
+  for (int i = n_micro - 1; i >= 0; --i) ops.push_back({OpType::kBackward, i, 0});
+  return ops;
+}
+
+// PipeDream-flush / Megatron 1F1B: `p - rank - 1` warmup forwards, then
+// alternate one-forward-one-backward, then drain.
+std::vector<Op> one_f_one_b(int p, int rank, int n_micro) {
+  std::vector<Op> ops;
+  const int warmup = std::min(p - rank - 1, n_micro);
+  int next_fwd = 0, next_bwd = 0;
+  for (int i = 0; i < warmup; ++i) ops.push_back({OpType::kForward, next_fwd++, 0});
+  while (next_fwd < n_micro) {
+    ops.push_back({OpType::kForward, next_fwd++, 0});
+    ops.push_back({OpType::kBackward, next_bwd++, 0});
+  }
+  while (next_bwd < n_micro) ops.push_back({OpType::kBackward, next_bwd++, 0});
+  return ops;
+}
+
+// Megatron-LM interleaved 1F1B. Virtual forwards are numbered k = 0,
+// 1, ...: groups of p consecutive slots cycle through the m chunks
+// before moving to the next group of p microbatches.
+Op virtual_forward(int k, int p, int m) {
+  const int chunk = (k / p) % m;
+  const int mb = (k / (p * m)) * p + (k % p);
+  return {OpType::kForward, mb, chunk};
+}
+
+Op virtual_backward(int k, int p, int m) {
+  const int chunk = m - 1 - (k / p) % m;
+  const int mb = (k / (p * m)) * p + (k % p);
+  return {OpType::kBackward, mb, chunk};
+}
+
+std::vector<Op> interleaved(int p, int rank, int n_micro, int m) {
+  MLS_CHECK_EQ(n_micro % p, 0)
+      << "interleaved schedule requires microbatches divisible by p";
+  const int total = n_micro * m;
+  // Megatron's warmup count: (p - rank - 1) * 2 + (m - 1) * p.
+  const int warmup = std::min(total, (p - rank - 1) * 2 + (m - 1) * p);
+  std::vector<Op> ops;
+  int kf = 0, kb = 0;
+  for (int i = 0; i < warmup; ++i) ops.push_back(virtual_forward(kf++, p, m));
+  while (kf < total) {
+    ops.push_back(virtual_forward(kf++, p, m));
+    ops.push_back(virtual_backward(kb++, p, m));
+  }
+  while (kb < total) ops.push_back(virtual_backward(kb++, p, m));
+  return ops;
+}
+
+}  // namespace
+
+std::vector<Op> build_schedule(Schedule s, int p, int rank, int n_micro, int m) {
+  MLS_CHECK(rank >= 0 && rank < p);
+  MLS_CHECK_GE(n_micro, 1);
+  switch (s) {
+    case Schedule::kGPipe:
+      MLS_CHECK_EQ(m, 1) << "GPipe schedule does not interleave";
+      return gpipe(rank, n_micro);
+    case Schedule::k1F1B:
+      MLS_CHECK_EQ(m, 1) << "plain 1F1B does not interleave";
+      return one_f_one_b(p, rank, n_micro);
+    case Schedule::kInterleaved1F1B:
+      return interleaved(p, rank, n_micro, m);
+  }
+  return {};
+}
+
+int max_in_flight(const std::vector<Op>& ops) {
+  int cur = 0, peak = 0;
+  for (const auto& op : ops) {
+    cur += op.type == OpType::kForward ? 1 : -1;
+    peak = std::max(peak, cur);
+  }
+  return peak;
+}
+
+void validate_schedule(const std::vector<Op>& ops, int n_micro, int m) {
+  std::set<std::pair<int, int>> fwd_done;
+  std::set<std::pair<int, int>> bwd_done;
+  for (const auto& op : ops) {
+    const std::pair<int, int> key{op.microbatch, op.chunk};
+    MLS_CHECK(op.microbatch >= 0 && op.microbatch < n_micro);
+    MLS_CHECK(op.chunk >= 0 && op.chunk < m);
+    if (op.type == OpType::kForward) {
+      MLS_CHECK(!fwd_done.count(key)) << "duplicate forward";
+      fwd_done.insert(key);
+    } else {
+      MLS_CHECK(fwd_done.count(key)) << "backward before forward";
+      MLS_CHECK(!bwd_done.count(key)) << "duplicate backward";
+      bwd_done.insert(key);
+    }
+  }
+  MLS_CHECK_EQ(fwd_done.size(), static_cast<size_t>(n_micro) * m);
+  MLS_CHECK_EQ(bwd_done.size(), static_cast<size_t>(n_micro) * m);
+}
+
+}  // namespace mls::pipeline

@@ -1,0 +1,47 @@
+// Pipeline schedules: per-rank op sequences for GPipe, 1F1B
+// (PipeDream-flush) and interleaved 1F1B (Megatron-LM's virtual-stage
+// schedule, §4.2.3).
+//
+// The same generator feeds both the numeric executor
+// (pipeline/executor.h) and the analytical performance model
+// (src/perf), so the memory/bubble properties the paper quotes —
+// "the first stage must store activations for p microbatches",
+// interleaving's L·(1 + (p-1)/(p·m)) factor — are structural facts of
+// these op lists, asserted by tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mls::pipeline {
+
+enum class OpType { kForward, kBackward };
+
+struct Op {
+  OpType type;
+  int microbatch;  // 0 .. n_micro-1
+  int chunk;       // virtual model chunk on this rank, 0 .. m-1
+  bool operator==(const Op&) const = default;
+};
+
+enum class Schedule { kGPipe, k1F1B, kInterleaved1F1B };
+
+const char* schedule_name(Schedule s);
+
+// Builds rank `rank`'s op sequence for a p-stage pipeline with
+// n_micro microbatches and m virtual chunks per rank (m > 1 only for
+// kInterleaved1F1B; Megatron requires n_micro % p == 0 there).
+std::vector<Op> build_schedule(Schedule s, int p, int rank, int n_micro, int m);
+
+// Peak number of microbatch-chunks whose forward has run but whose
+// backward has not — i.e. how many chunks' activations this rank holds
+// at once. Multiplied by layers-per-chunk this gives the rank's
+// activation "layers held" (Eq 5's L for rank 0 under 1F1B).
+int max_in_flight(const std::vector<Op>& ops);
+
+// Structural validation used by tests and the perf model's event
+// simulator: every microbatch/chunk appears exactly once as forward and
+// once as backward, and each backward follows its forward.
+void validate_schedule(const std::vector<Op>& ops, int n_micro, int m);
+
+}  // namespace mls::pipeline

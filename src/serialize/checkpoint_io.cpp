@@ -1,0 +1,93 @@
+#include "serialize/checkpoint_io.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace mls::serialize {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'L', 'S', 'C', 'K', 'P', 'T', '1'};
+
+class File {
+ public:
+  File(const std::string& path, const char* mode) : f_(std::fopen(path.c_str(), mode)) {
+    MLS_CHECK(f_ != nullptr) << "cannot open " << path;
+  }
+  ~File() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  void write(const void* data, size_t bytes) {
+    MLS_CHECK_EQ(std::fwrite(data, 1, bytes, f_), bytes) << "short write";
+  }
+  void read(void* data, size_t bytes) {
+    MLS_CHECK_EQ(std::fread(data, 1, bytes, f_), bytes) << "short read";
+  }
+  template <typename T>
+  void write_pod(const T& v) {
+    write(&v, sizeof(T));
+  }
+  template <typename T>
+  T read_pod() {
+    T v;
+    read(&v, sizeof(T));
+    return v;
+  }
+
+ private:
+  std::FILE* f_;
+};
+
+}  // namespace
+
+void save_tensors(const std::string& path, const NamedTensors& items) {
+  File f(path, "wb");
+  f.write(kMagic, sizeof(kMagic));
+  f.write_pod<uint64_t>(items.size());
+  for (const auto& [name, t] : items) {
+    MLS_CHECK(t.defined()) << "saving released tensor " << name;
+    f.write_pod<uint32_t>(static_cast<uint32_t>(name.size()));
+    f.write(name.data(), name.size());
+    f.write_pod<uint8_t>(static_cast<uint8_t>(t.dtype()));
+    f.write_pod<uint32_t>(static_cast<uint32_t>(t.ndim()));
+    for (int i = 0; i < t.ndim(); ++i) f.write_pod<int64_t>(t.dim(i));
+    f.write(t.data(), sizeof(float) * static_cast<size_t>(t.numel()));
+  }
+}
+
+NamedTensors load_tensors(const std::string& path) {
+  File f(path, "rb");
+  char magic[8];
+  f.read(magic, sizeof(magic));
+  MLS_CHECK_EQ(std::memcmp(magic, kMagic, sizeof(kMagic)), 0)
+      << path << " is not a checkpoint file";
+  const uint64_t count = f.read_pod<uint64_t>();
+  NamedTensors items;
+  items.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint32_t name_len = f.read_pod<uint32_t>();
+    MLS_CHECK_LT(name_len, 4096u) << "corrupt checkpoint";
+    std::string name(name_len, '\0');
+    f.read(name.data(), name_len);
+    const auto dtype = static_cast<Dtype>(f.read_pod<uint8_t>());
+    const uint32_t ndim = f.read_pod<uint32_t>();
+    MLS_CHECK_LE(ndim, 8u) << "corrupt checkpoint";
+    std::vector<int64_t> dims(ndim);
+    for (auto& d : dims) d = f.read_pod<int64_t>();
+    Tensor t = Tensor::empty(Shape(dims), dtype);
+    f.read(t.data(), sizeof(float) * static_cast<size_t>(t.numel()));
+    items.emplace_back(std::move(name), std::move(t));
+  }
+  return items;
+}
+
+std::string rank_file(const std::string& dir, int world_rank) {
+  return dir + "/rank_" + std::to_string(world_rank) + ".ckpt";
+}
+
+}  // namespace mls::serialize

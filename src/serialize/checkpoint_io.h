@@ -1,0 +1,34 @@
+// Checkpoint I/O: save and restore training state to disk.
+//
+// Layout mirrors Megatron's distributed checkpoints: each world rank
+// writes its own shard file (`<dir>/rank_<r>.ckpt`), containing its
+// parameter shards (and, optionally, optimizer moments) as named
+// tensors. Loading asserts names and shapes positionally, so a
+// checkpoint can only be restored into the same parallel configuration
+// that wrote it — re-sharding across configurations is out of scope
+// (the paper's system behaves the same way).
+//
+// File format (little-endian):
+//   magic "MLSCKPT1" | u64 item count |
+//   per item: u32 name_len | name bytes | u8 dtype | u32 ndim |
+//             i64 dims[ndim] | f32 data[numel]
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mls::serialize {
+
+using NamedTensors = std::vector<std::pair<std::string, Tensor>>;
+
+void save_tensors(const std::string& path, const NamedTensors& items);
+NamedTensors load_tensors(const std::string& path);
+
+// Shard-file path for a world rank.
+std::string rank_file(const std::string& dir, int world_rank);
+
+}  // namespace mls::serialize

@@ -1,0 +1,94 @@
+// Tensor: a contiguous, row-major, reference-counted float buffer with a
+// shape and a logical dtype (see dtype.h).
+//
+// Design notes:
+//  * Storage is always float32; the logical dtype only affects byte
+//    accounting (logical_bytes()).
+//  * Copying a Tensor is cheap (shared storage). clone() deep-copies.
+//  * release() drops the storage while keeping shape/dtype metadata —
+//    this implements the paper's Appendix B "output tensor
+//    deallocation" optimization, where a pipeline stage frees the data
+//    of its output after sending it downstream.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/shape.h"
+#include "tensor/dtype.h"
+
+namespace mls {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // Factories -------------------------------------------------------
+  static Tensor empty(Shape shape, Dtype dtype = Dtype::F16);
+  static Tensor zeros(Shape shape, Dtype dtype = Dtype::F16);
+  static Tensor full(Shape shape, float value, Dtype dtype = Dtype::F16);
+  static Tensor randn(Shape shape, Rng& rng, float stddev = 1.0f,
+                      Dtype dtype = Dtype::F16);
+  static Tensor from_data(Shape shape, std::vector<float> data,
+                          Dtype dtype = Dtype::F16);
+  static Tensor scalar(float value, Dtype dtype = Dtype::F32);
+
+  // Metadata ---------------------------------------------------------
+  const Shape& shape() const { return shape_; }
+  Dtype dtype() const { return dtype_; }
+  int64_t numel() const { return shape_.numel(); }
+  int ndim() const { return shape_.ndim(); }
+  int64_t dim(int i) const { return shape_.dim(i); }
+  bool defined() const { return storage_ != nullptr; }
+  // Bytes this tensor would occupy on a real fp16 training system.
+  int64_t logical_bytes() const { return numel() * byte_size(dtype_); }
+
+  // Data access ------------------------------------------------------
+  float* data() {
+    MLS_CHECK(defined()) << "tensor storage has been released";
+    return storage_->data();
+  }
+  const float* data() const {
+    MLS_CHECK(defined()) << "tensor storage has been released";
+    return storage_->data();
+  }
+  float item() const {
+    MLS_CHECK_EQ(numel(), 1) << "item() on non-scalar " << shape_.str();
+    return data()[0];
+  }
+
+  // Views and copies --------------------------------------------------
+  // Shares storage; total element count must match.
+  Tensor reshape(Shape new_shape) const;
+  Tensor clone() const;
+  // Same data, different logical dtype (affects accounting only).
+  Tensor as_dtype(Dtype d) const;
+
+  // Drops the underlying storage (Appendix B optimization). Metadata is
+  // preserved so shape-dependent bookkeeping still works.
+  void release() { storage_.reset(); }
+
+  // In-place helpers ---------------------------------------------------
+  void fill_(float v);
+  void zero_() { fill_(0.f); }
+  void add_(const Tensor& other, float alpha = 1.0f);
+  void mul_(float v);
+  void copy_from(const Tensor& other);
+
+  // Reductions / test helpers -----------------------------------------
+  float sum() const;
+  float max_abs() const;
+  bool allclose(const Tensor& other, float rtol = 1e-5f, float atol = 1e-6f) const;
+
+  std::string str() const;  // short description for diagnostics
+
+ private:
+  std::shared_ptr<std::vector<float>> storage_;
+  Shape shape_;
+  Dtype dtype_ = Dtype::F16;
+};
+
+}  // namespace mls

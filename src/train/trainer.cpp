@@ -1,0 +1,175 @@
+#include "train/trainer.h"
+
+#include <cmath>
+
+#include "serialize/checkpoint_io.h"
+
+namespace mls::train {
+
+Trainer::Trainer(const model::ModelConfig& cfg, comm::Comm& world,
+                 TrainerOptions opts)
+    : cfg_(cfg), opts_(std::move(opts)), world_(world) {
+  engine_ = std::make_unique<pipeline::PipelineEngine>(cfg_, world,
+                                                       opts_.pipeline);
+  if (opts_.use_adam) {
+    adam_ = std::make_unique<optim::Adam>(engine_->params(), opts_.lr);
+  } else {
+    sgd_ = std::make_unique<optim::Sgd>(engine_->params(), opts_.lr);
+  }
+}
+
+float Trainer::lr_at(int64_t it) const {
+  const float lr = opts_.lr;
+  if (opts_.warmup_steps > 0 && it < opts_.warmup_steps) {
+    return lr * static_cast<float>(it + 1) /
+           static_cast<float>(opts_.warmup_steps);
+  }
+  if (opts_.decay_steps > 0) {
+    const double progress =
+        std::min(1.0, static_cast<double>(it - opts_.warmup_steps) /
+                          static_cast<double>(opts_.decay_steps));
+    const double cosine = 0.5 * (1.0 + std::cos(M_PI * progress));
+    const double floor = opts_.min_lr_fraction;
+    return lr * static_cast<float>(floor + (1.0 - floor) * cosine);
+  }
+  return lr;
+}
+
+namespace {
+
+// Replicated-across-TP params are identified by name: layer-norm
+// weights, row-parallel biases, and the positional table. Everything
+// else (matmul weights, column biases, the vocab-sharded embedding) is
+// sharded, so summing local shards over the tp group yields the full
+// tensor exactly once.
+bool is_tp_replicated(const std::string& name) {
+  return name.find(".ln") != std::string::npos ||
+         name.find("lnf.") != std::string::npos ||
+         name.find("wpe") != std::string::npos ||
+         name.find("proj.bias") != std::string::npos ||
+         name.find("lin2.bias") != std::string::npos;
+}
+
+}  // namespace
+
+float Trainer::clip_gradients() {
+  // Global L2 norm with every distinct parameter counted exactly once:
+  //  * sharded params contribute their local shard on every tp rank;
+  //  * replicated params contribute only on tp rank 0;
+  //  * the head-stage duplicate of the tied embedding is skipped (the
+  //    embedding-stage copy carries the identical synced gradient).
+  auto& engine = *engine_;
+  double local_sq = 0;
+  for (int c = 0; c < engine.num_chunks(); ++c) {
+    auto& m = engine.chunk_model(c);
+    const bool tp_rank0 = m.env().tp_rank() == 0;
+    const ag::VarImpl* tied_duplicate =
+        (m.spec().has_head && !m.spec().has_embedding)
+            ? m.word_table().impl().get()
+            : nullptr;
+    for (const auto& p : m.params()) {
+      if (!p.has_grad()) continue;
+      if (p.impl().get() == tied_duplicate) continue;
+      if (is_tp_replicated(p.name()) && !tp_rank0) continue;
+      const float* g = p.grad().data();
+      for (int64_t i = 0; i < p.numel(); ++i) {
+        local_sq += static_cast<double>(g[i]) * g[i];
+      }
+    }
+  }
+  Tensor sq = Tensor::scalar(static_cast<float>(local_sq));
+  world_.all_reduce(sq);
+  // Every parameter exists on each of the d data-parallel replicas (with
+  // identical post-all-reduce grads), so the world sum counts it d times.
+  const float norm = std::sqrt(sq.item() / static_cast<float>(cfg_.d));
+  if (opts_.grad_clip > 0 && norm > opts_.grad_clip) {
+    const float scale = opts_.grad_clip / norm;
+    for (auto& p : engine.params()) {
+      if (p.has_grad()) p.impl()->grad.mul_(scale);
+    }
+  }
+  return norm;
+}
+
+void Trainer::save_checkpoint(const std::string& dir) const {
+  serialize::NamedTensors items;
+  const auto params = engine_->params();
+  for (size_t i = 0; i < params.size(); ++i) {
+    items.emplace_back("param" + std::to_string(i) + ":" + params[i].name(),
+                       params[i].value());
+  }
+  if (adam_) {
+    auto& m = adam_->m_state();
+    auto& v = adam_->v_state();
+    for (size_t i = 0; i < m.size(); ++i) {
+      items.emplace_back("adam_m" + std::to_string(i), m[i]);
+      items.emplace_back("adam_v" + std::to_string(i), v[i]);
+    }
+    items.emplace_back("adam_t",
+                       Tensor::scalar(static_cast<float>(adam_->step_count())));
+  }
+  items.emplace_back("iteration",
+                     Tensor::scalar(static_cast<float>(iteration_)));
+  serialize::save_tensors(serialize::rank_file(dir, world_.rank()), items);
+}
+
+void Trainer::load_checkpoint(const std::string& dir) {
+  auto items = serialize::load_tensors(serialize::rank_file(dir, world_.rank()));
+  size_t idx = 0;
+  auto take = [&](const std::string& expect_prefix) -> Tensor {
+    MLS_CHECK_LT(idx, items.size()) << "truncated checkpoint";
+    MLS_CHECK(items[idx].first.rfind(expect_prefix, 0) == 0)
+        << "checkpoint entry '" << items[idx].first << "' where '"
+        << expect_prefix << "...' expected (configuration mismatch?)";
+    return items[idx++].second;
+  };
+  auto params = engine_->params();
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor t = take("param" + std::to_string(i) + ":");
+    MLS_CHECK(t.shape() == params[i].value().shape())
+        << "shape mismatch for " << params[i].name();
+    params[i].mutable_value().copy_from(t);
+    params[i].zero_grad();
+  }
+  if (adam_) {
+    auto& m = adam_->m_state();
+    auto& v = adam_->v_state();
+    for (size_t i = 0; i < m.size(); ++i) {
+      m[i].copy_from(take("adam_m" + std::to_string(i)));
+      v[i].copy_from(take("adam_v" + std::to_string(i)));
+    }
+    adam_->set_step_count(static_cast<int64_t>(take("adam_t").item()));
+  }
+  iteration_ = static_cast<int64_t>(take("iteration").item());
+}
+
+StepResult Trainer::step(const std::vector<data::Batch>& microbatches) {
+  std::vector<std::vector<int64_t>> tokens, targets;
+  tokens.reserve(microbatches.size());
+  targets.reserve(microbatches.size());
+  for (const auto& mb : microbatches) {
+    tokens.push_back(mb.tokens);
+    targets.push_back(mb.targets);
+  }
+
+  engine_->zero_grads();
+  const auto stats = engine_->run_iteration(tokens, targets, iteration_);
+
+  StepResult result;
+  result.loss = stats.loss;
+  result.peak_activation_bytes = stats.peak_activation_bytes;
+  result.grad_norm = opts_.grad_clip > 0 ? clip_gradients() : 0.0f;
+  result.lr = lr_at(iteration_);
+
+  if (adam_) {
+    adam_->set_lr(result.lr);
+    adam_->step();
+  } else {
+    sgd_->set_lr(result.lr);
+    sgd_->step();
+  }
+  ++iteration_;
+  return result;
+}
+
+}  // namespace mls::train

@@ -1,0 +1,69 @@
+// Trainer: the high-level training loop used by the examples — wraps
+// the pipeline engine (which subsumes the single-stage case), an Adam
+// or SGD optimizer, a warmup+cosine learning-rate schedule, and
+// distributed-correct global gradient clipping.
+#pragma once
+
+#include <memory>
+
+#include "data/synthetic.h"
+#include "optim/optim.h"
+#include "pipeline/executor.h"
+
+namespace mls::train {
+
+struct TrainerOptions {
+  float lr = 1e-3f;
+  bool use_adam = true;
+  // Global L2 gradient clipping threshold; 0 disables. The norm is
+  // computed over the whole model (dedup'ed across tensor-parallel
+  // replicas and the tied embedding copies), so clipping scales all
+  // ranks identically and preserves serial equivalence.
+  float grad_clip = 0.0f;
+  int64_t warmup_steps = 0;
+  int64_t decay_steps = 0;  // cosine decay horizon; 0 = constant lr
+  float min_lr_fraction = 0.1f;
+  pipeline::PipelineOptions pipeline;
+};
+
+struct StepResult {
+  float loss;
+  float lr;
+  float grad_norm;  // pre-clip global norm (0 when clipping disabled)
+  int64_t peak_activation_bytes;
+};
+
+class Trainer {
+ public:
+  // world size must be cfg.t * cfg.p.
+  Trainer(const model::ModelConfig& cfg, comm::Comm& world,
+          TrainerOptions opts = {});
+
+  // One full iteration over the global batch.
+  StepResult step(const std::vector<data::Batch>& microbatches);
+
+  int64_t iteration() const { return iteration_; }
+  pipeline::PipelineEngine& engine() { return *engine_; }
+  // Current learning rate under the schedule.
+  float lr_at(int64_t it) const;
+
+  // Distributed checkpointing: each world rank saves/restores its own
+  // shard file (parameters, Adam moments, iteration counter). Loading
+  // requires the same parallel configuration that saved; resuming is
+  // bit-exact (tests assert it).
+  void save_checkpoint(const std::string& dir) const;
+  void load_checkpoint(const std::string& dir);
+
+ private:
+  float clip_gradients();
+
+  model::ModelConfig cfg_;
+  TrainerOptions opts_;
+  comm::Comm world_;
+  std::unique_ptr<pipeline::PipelineEngine> engine_;
+  std::unique_ptr<optim::Adam> adam_;
+  std::unique_ptr<optim::Sgd> sgd_;
+  int64_t iteration_ = 0;
+};
+
+}  // namespace mls::train
