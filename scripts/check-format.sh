@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Checks that every C++ source under src/ tests/ bench/ is clang-format
+# clean (per the repo .clang-format). Exits nonzero listing offending
+# files; with no clang-format on PATH it skips with a warning so local
+# builds on minimal images keep working (CI installs it).
+set -u
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-}"
+if [ -z "$CLANG_FORMAT" ]; then
+  for candidate in clang-format clang-format-18 clang-format-17 \
+      clang-format-16 clang-format-15 clang-format-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      CLANG_FORMAT="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$CLANG_FORMAT" ]; then
+  echo "check-format: clang-format not found; skipping." >&2
+  exit 0
+fi
+
+bad=0
+while IFS= read -r f; do
+  if ! "$CLANG_FORMAT" --dry-run -Werror "$f" >/dev/null 2>&1; then
+    echo "needs formatting: $f"
+    bad=1
+  fi
+done < <(find src tests bench -name '*.cpp' -o -name '*.h' | sort)
+
+if [ "$bad" -ne 0 ]; then
+  echo ""
+  echo "Run: $CLANG_FORMAT -i \$(find src tests bench -name '*.cpp' -o -name '*.h')"
+  exit 1
+fi
+echo "check-format: all files clean."

@@ -10,8 +10,8 @@ namespace {
 class CheckpointNode : public Node {
  public:
   CheckpointNode(CheckpointFn fn, const std::vector<Var>& ins,
-                 const std::string& tag)
-      : fn_(std::move(fn)) {
+                 const std::string& tag, bool pure_compute)
+      : fn_(std::move(fn)), pure_compute_(pure_compute) {
     saved_.reserve(ins.size());
     for (const auto& in : ins) {
       saved_.emplace_back(in.value(), tag, !in.is_param());
@@ -21,43 +21,68 @@ class CheckpointNode : public Node {
 
   const char* name() const override { return "checkpoint"; }
 
+  // A collective-free replay may run early, inside a comm window; the
+  // rebuilt subgraph is held until backward() consumes it (the same
+  // one-checkpoint-deep transient spike as the serial schedule, just
+  // earlier).
+  bool prefetchable() const override { return pure_compute_; }
+  void prefetch() override {
+    if (!replayed_out_.defined()) do_replay();
+  }
+
   std::vector<Tensor> backward(const Tensor& grad_out) override {
-    // Replay the forward with autograd enabled. The replay re-saves the
-    // region's internal activations (a transient memory spike, just
-    // like real recomputation), then the immediate backward drains it.
     EnableGradGuard grad_on;
-    std::vector<Var> leaves;
-    leaves.reserve(saved_.size());
-    for (size_t i = 0; i < saved_.size(); ++i) {
-      // Re-create parameter inputs as params so the replayed subgraph
-      // does not transiently charge them to the activation tracker.
-      leaves.push_back(is_param_[i] ? Var::param(saved_[i].get())
-                                    : Var(saved_[i].get(), /*requires_grad=*/true));
-    }
-    Var out = fn_(leaves);
+    if (!replayed_out_.defined()) do_replay();
+    Var out = std::move(replayed_out_);
+    replayed_out_ = Var();
     mls::ag::backward(out, grad_out);
     std::vector<Tensor> grads;
-    grads.reserve(leaves.size());
-    for (auto& leaf : leaves) {
+    grads.reserve(replayed_leaves_.size());
+    for (auto& leaf : replayed_leaves_) {
       grads.push_back(leaf.has_grad() ? leaf.grad() : Tensor());
     }
+    replayed_leaves_.clear();
     return grads;
   }
 
   void release_saved() override {
     for (auto& s : saved_) s.reset();
+    // Drop a prefetched replay that was never consumed (the node's
+    // output received no gradient).
+    replayed_out_ = Var();
+    replayed_leaves_.clear();
   }
 
  private:
+  // Replays the forward with autograd enabled. The replay re-saves the
+  // region's internal activations (a transient memory spike, just like
+  // real recomputation); backward() drains it.
+  void do_replay() {
+    EnableGradGuard grad_on;
+    replayed_leaves_.clear();
+    replayed_leaves_.reserve(saved_.size());
+    for (size_t i = 0; i < saved_.size(); ++i) {
+      // Re-create parameter inputs as params so the replayed subgraph
+      // does not transiently charge them to the activation tracker.
+      replayed_leaves_.push_back(
+          is_param_[i] ? Var::param(saved_[i].get())
+                       : Var(saved_[i].get(), /*requires_grad=*/true));
+    }
+    replayed_out_ = fn_(replayed_leaves_);
+  }
+
   CheckpointFn fn_;
+  bool pure_compute_;
   std::vector<SavedTensor> saved_;
   std::vector<bool> is_param_;
+  std::vector<Var> replayed_leaves_;
+  Var replayed_out_;
 };
 
 }  // namespace
 
 Var checkpoint(const CheckpointFn& fn, const std::vector<Var>& inputs,
-               const std::string& tag) {
+               const std::string& tag, bool pure_compute) {
   bool any_requires = false;
   for (const auto& in : inputs) any_requires |= in.requires_grad();
   if (!GradMode::enabled() || !any_requires) {
@@ -75,7 +100,7 @@ Var checkpoint(const CheckpointFn& fn, const std::vector<Var>& inputs,
     out_value = fn(detached).value();
   }
 
-  auto node = std::make_shared<CheckpointNode>(fn, inputs, tag);
+  auto node = std::make_shared<CheckpointNode>(fn, inputs, tag, pure_compute);
   return make_output(std::move(out_value), std::move(node), inputs);
 }
 

@@ -32,7 +32,14 @@ using CheckpointFn = std::function<Var(const std::vector<Var>&)>;
 // `tag` labels the stored inputs in the memory tracker (e.g.
 // "attn_core_ckpt"). If grad mode is off (e.g. inside an enclosing
 // checkpoint), this degenerates to calling fn directly.
+//
+// `pure_compute` declares that fn issues no collectives (true for the
+// attention core, false for a full transformer layer). Such a replay is
+// prefetchable: with `overlap_recompute` on, the backward engine may run
+// it inside a communication window instead of serially at the node —
+// same thread, same RNG sites, same tracker, so numerics are unchanged.
 Var checkpoint(const CheckpointFn& fn, const std::vector<Var>& inputs,
-               const std::string& tag = "checkpoint_in");
+               const std::string& tag = "checkpoint_in",
+               bool pure_compute = false);
 
 }  // namespace mls::ag

@@ -1,12 +1,18 @@
 #include "comm/comm.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
 #include <map>
 #include <mutex>
+#include <string>
+#include <thread>
 
 #include "comm/barrier.h"
 #include "common/check.h"
+#include "runtime/stream.h"
 #include "tensor/ops.h"
 
 namespace mls::comm {
@@ -27,6 +33,20 @@ class World {
   std::map<int, std::shared_ptr<World>> pending_splits;
   std::vector<std::weak_ptr<World>> children;
 
+  // Injected wire latency (seconds); see Comm::set_injected_comm_latency.
+  std::atomic<double> lat_per_byte{0};
+  std::atomic<double> lat_fixed{0};
+
+  runtime::Stream& comm_stream(int rank) {
+    std::lock_guard<std::mutex> lock(stream_mu);
+    if (streams.empty()) streams.resize(static_cast<size_t>(size));
+    auto& s = streams[static_cast<size_t>(rank)];
+    if (!s) {
+      s = std::make_unique<runtime::Stream>("comm.r" + std::to_string(rank));
+    }
+    return *s;
+  }
+
   void poison() {
     barrier.poison();
     mailbox.poison();
@@ -35,7 +55,39 @@ class World {
       if (auto c = w.lock()) c->poison();
     }
   }
+
+  // Declared last so the streams drain (tasks may still touch the
+  // barrier / mailbox above) before the rest of the World is destroyed.
+  std::mutex stream_mu;
+  std::vector<std::unique_ptr<runtime::Stream>> streams;
 };
+
+struct CommHandle::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::exception_ptr err;
+  Tensor result;
+};
+
+bool CommHandle::done() const {
+  if (!state_) return true;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+void CommHandle::wait() {
+  if (!state_) return;
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  if (state_->err) std::rethrow_exception(state_->err);
+}
+
+Tensor CommHandle::result() {
+  wait();
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->result;
+}
 
 Comm::Comm(std::shared_ptr<World> world, int rank)
     : world_(std::move(world)), rank_(rank), stats_(std::make_shared<TrafficStats>()) {}
@@ -110,17 +162,32 @@ static int64_t ring_all_gather_inplace(World& w, int rank, int64_t n,
   return received;
 }
 
+void Comm::inject_latency(int64_t bytes) const {
+  const double per = world_->lat_per_byte.load(std::memory_order_relaxed);
+  const double fixed = world_->lat_fixed.load(std::memory_order_relaxed);
+  const double sec = per * static_cast<double>(bytes) + fixed;
+  if (sec > 0) std::this_thread::sleep_for(std::chrono::duration<double>(sec));
+}
+
+void Comm::set_injected_comm_latency(double sec_per_byte, double sec_fixed) {
+  MLS_CHECK(valid());
+  world_->lat_per_byte.store(sec_per_byte, std::memory_order_relaxed);
+  world_->lat_fixed.store(sec_fixed, std::memory_order_relaxed);
+}
+
 void Comm::all_reduce(Tensor& t, ReduceOp op) {
   MLS_CHECK(valid());
   ++stats_->all_reduce_count;
   if (size() == 1) return;
   const int64_t n = t.numel();
   const int64_t eb = byte_size(t.dtype());
+  const int64_t before = stats_->bytes_received;
   world_->bufs[static_cast<size_t>(rank_)] = t.data();
   world_->barrier.arrive_and_wait();
   stats_->bytes_received += ring_reduce_scatter_inplace(*world_, rank_, n, eb, op);
   stats_->bytes_received += ring_all_gather_inplace(*world_, rank_, n, eb);
   world_->barrier.arrive_and_wait();
+  inject_latency(stats_->bytes_received - before);
 }
 
 Tensor Comm::all_gather(const Tensor& shard, int dim) {
@@ -129,6 +196,7 @@ Tensor Comm::all_gather(const Tensor& shard, int dim) {
   if (size() == 1) return shard.clone();
   dim = shard.shape().normalize_axis(dim);
   const int T = size();
+  const int64_t before = stats_->bytes_received;
   const int64_t shard_elems = shard.numel();
   // Stage the result as [T, shard]: chunk i is rank i's shard.
   Tensor stacked = Tensor::empty(Shape{{T * shard_elems}}, shard.dtype());
@@ -139,6 +207,7 @@ Tensor Comm::all_gather(const Tensor& shard, int dim) {
   stats_->bytes_received += ring_all_gather_inplace(
       *world_, rank_, T * shard_elems, byte_size(shard.dtype()));
   world_->barrier.arrive_and_wait();
+  inject_latency(stats_->bytes_received - before);
 
   if (dim == 0) {
     // Chunks are already contiguous along dim 0.
@@ -177,11 +246,13 @@ Tensor Comm::reduce_scatter(const Tensor& full, int dim) {
     staged = ops::permute(full, perm);
   }
   const int64_t n = staged.numel();
+  const int64_t before = stats_->bytes_received;
   world_->bufs[static_cast<size_t>(rank_)] = staged.data();
   world_->barrier.arrive_and_wait();
   stats_->bytes_received +=
       ring_reduce_scatter_inplace(*world_, rank_, n, byte_size(full.dtype()));
   world_->barrier.arrive_and_wait();
+  inject_latency(stats_->bytes_received - before);
 
   const int64_t chunk = n / T;
   Tensor mine = Tensor::empty(staged.shape().with_dim(0, staged.dim(0) / T),
@@ -259,7 +330,79 @@ void Comm::send(int dst, int tag, const Tensor& t) {
 
 Tensor Comm::recv(int src, int tag) {
   MLS_CHECK(valid());
-  return world_->mailbox.recv(src, rank_, tag);
+  Tensor t = world_->mailbox.recv(src, rank_, tag);
+  ++stats_->p2p_recv_count;
+  stats_->p2p_bytes_received += t.logical_bytes();
+  inject_latency(t.logical_bytes());
+  return t;
+}
+
+CommHandle Comm::launch(std::function<Tensor(Comm&)> op) {
+  MLS_CHECK(valid());
+  CommHandle h;
+  h.state_ = std::make_shared<CommHandle::State>();
+  auto state = h.state_;
+  // The task's rank alias must NOT own the World: the World owns the
+  // stream that owns the task, and an owning capture would keep the
+  // World alive until the task runs — then destroy it from the stream's
+  // own worker thread. The alias shares this handle's TrafficStats, so
+  // accounting lands exactly where the blocking call would put it.
+  Comm alias(std::shared_ptr<World>(world_.get(), [](World*) {}), rank_);
+  alias.stats_ = stats_;
+  world_->comm_stream(rank_).enqueue(
+      [state, alias, op = std::move(op)]() mutable {
+        Tensor result;
+        std::exception_ptr err;
+        try {
+          result = op(alias);
+        } catch (...) {
+          err = std::current_exception();
+        }
+        {
+          std::lock_guard<std::mutex> lock(state->mu);
+          state->result = std::move(result);
+          state->err = err;
+          state->done = true;
+        }
+        state->cv.notify_all();
+      });
+  return h;
+}
+
+CommHandle Comm::iall_reduce(Tensor& t, ReduceOp op) {
+  Tensor ref = t;  // shares storage: the in-place update lands in `t`
+  return launch([ref, op](Comm& c) mutable {
+    c.all_reduce(ref, op);
+    return Tensor();
+  });
+}
+
+CommHandle Comm::iall_gather(const Tensor& shard, int dim) {
+  Tensor ref = shard;
+  return launch([ref, dim](Comm& c) { return c.all_gather(ref, dim); });
+}
+
+CommHandle Comm::ireduce_scatter(const Tensor& full, int dim) {
+  Tensor ref = full;
+  return launch([ref, dim](Comm& c) { return c.reduce_scatter(ref, dim); });
+}
+
+CommHandle Comm::isend(int dst, int tag, const Tensor& t) {
+  MLS_CHECK(valid());
+  // Eager clone on the calling thread: the pipeline executor releases
+  // the sent tensor's storage right after the call (Appendix B), so the
+  // wire copy must be taken now, not when the task runs.
+  Tensor copy = t.clone();
+  return launch([copy, dst, tag](Comm& c) {
+    ++c.stats_->p2p_send_count;
+    c.stats_->p2p_bytes_sent += copy.logical_bytes();
+    c.world_->mailbox.send(c.rank_, dst, tag, copy);
+    return Tensor();
+  });
+}
+
+CommHandle Comm::irecv(int src, int tag) {
+  return launch([src, tag](Comm& c) { return c.recv(src, tag); });
 }
 
 void Comm::poison() {

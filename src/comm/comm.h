@@ -13,6 +13,7 @@
 //   reduce-scatter and all-gather move (t-1)/t · n bytes each.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -29,12 +30,37 @@ struct TrafficStats {
   int64_t broadcast_count = 0;
   int64_t p2p_send_count = 0;
   int64_t p2p_bytes_sent = 0;
+  int64_t p2p_recv_count = 0;
+  int64_t p2p_bytes_received = 0;
   void reset() { *this = TrafficStats{}; }
 };
 
 class World;
 
 enum class ReduceOp { Sum, Max };
+
+// Completion handle of a nonblocking operation (the NCCL-group /
+// MPI_Request analogue). The operation runs on the rank's comm stream;
+// the handle becomes done when it finishes there.
+class CommHandle {
+ public:
+  CommHandle() = default;
+  bool valid() const { return state_ != nullptr; }
+  // Poll without blocking. An invalid handle is trivially done.
+  bool done() const;
+  // Blocks until the operation completes on the comm stream; rethrows
+  // any error the operation raised there (e.g. a poisoned communicator).
+  void wait();
+  // wait(), then the operation's output tensor (meaningful for
+  // iall_gather / ireduce_scatter / irecv; a default tensor for
+  // in-place and send operations).
+  Tensor result();
+
+ private:
+  friend class Comm;
+  struct State;
+  std::shared_ptr<State> state_;
+};
 
 class Comm {
  public:
@@ -70,6 +96,29 @@ class Comm {
   void send(int dst, int tag, const Tensor& t);
   Tensor recv(int src, int tag);
 
+  // --- nonblocking variants --------------------------------------------
+  // Each enqueues the corresponding blocking operation onto this rank's
+  // comm stream and returns immediately; results and TrafficStats are
+  // identical to the blocking versions by construction (stats update
+  // when the operation executes — wait() the handle before comparing).
+  // Ordering contract (as with nonblocking NCCL): all ranks must submit
+  // the same collective sequence per communicator, and a rank must not
+  // run another collective on the same communicator — blocking or not —
+  // while one is still in flight.
+  CommHandle iall_reduce(Tensor& t, ReduceOp op = ReduceOp::Sum);
+  CommHandle iall_gather(const Tensor& shard, int dim = 0);
+  CommHandle ireduce_scatter(const Tensor& full, int dim = 0);
+  // isend clones eagerly on the calling thread: the caller may release
+  // the tensor's storage as soon as the call returns.
+  CommHandle isend(int dst, int tag, const Tensor& t);
+  CommHandle irecv(int src, int tag);
+
+  // Injected wire latency: every rank sleeps `sec_per_byte * bytes_moved
+  // + sec_fixed` at the end of each collective / recv on this
+  // communicator. On the nonblocking path the sleep happens on the comm
+  // stream, so compute can hide it — the knob bench_overlap turns.
+  void set_injected_comm_latency(double sec_per_byte, double sec_fixed = 0);
+
   TrafficStats& stats() { return *stats_; }
   const TrafficStats& stats() const { return *stats_; }
 
@@ -79,6 +128,11 @@ class Comm {
 
  private:
   Comm(std::shared_ptr<World> world, int rank);
+
+  // Enqueues `op` (applied to a non-owning alias of this rank handle)
+  // onto the comm stream and returns its completion handle.
+  CommHandle launch(std::function<Tensor(Comm&)> op);
+  void inject_latency(int64_t bytes) const;
 
   std::shared_ptr<World> world_;
   int rank_ = 0;

@@ -141,8 +141,11 @@ Var ParallelSelfAttention::forward(const Var& x, const ParallelEnv& env) const {
     return ag::bmm(probs_d, ins[2], /*trans_b=*/false, "attn_av");
   };
 
+  // The attention core issues no collectives, so its replay is
+  // prefetchable into a backward comm window (overlap_recompute).
   Var ctx = (env.recompute == Recompute::kSelective)
-                ? ag::checkpoint(attn_core, {q, k, v}, "attn_core_ckpt")
+                ? ag::checkpoint(attn_core, {q, k, v}, "attn_core_ckpt",
+                                 /*pure_compute=*/true)
                 : attn_core({q, k, v});
 
   Var ctx_sbh = ag::bhsd_to_sbh(ctx, heads_local);  // [s, b, h/t]

@@ -16,10 +16,14 @@ struct IterationEstimate {
 
 // Simulates one training iteration of `cfg` (its p, interleave_m and
 // global batch select the schedule: GPipe is never used — 1F1B, or
-// interleaved 1F1B when interleave_m > 1).
+// interleaved 1F1B when interleave_m > 1). `overlap_recompute` applies
+// the runtime's overlapped-recomputation term — max(T_comm, T_recompute)
+// instead of their sum — to backward ops; it only takes effect for
+// kSelective, whose replays are collective-free.
 IterationEstimate estimate_iteration_time(const model::ModelConfig& cfg,
                                           const MachineModel& mm, bool sp,
-                                          core::Recompute recompute);
+                                          core::Recompute recompute,
+                                          bool overlap_recompute = false);
 
 // §6.3's data-parallelism note: scaling to `dp`-way data parallelism
 // adds an (un-overlapped) gradient all-reduce over InfiniBand.
@@ -35,6 +39,7 @@ struct E2eRow {
 
 // One Table 5 row: iteration time + MFU/HFU for the given switches.
 E2eRow end_to_end(const model::ModelConfig& cfg, const MachineModel& mm,
-                  bool sp, core::Recompute recompute);
+                  bool sp, core::Recompute recompute,
+                  bool overlap_recompute = false);
 
 }  // namespace mls::perf

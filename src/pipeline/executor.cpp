@@ -3,6 +3,7 @@
 #include "autograd/engine.h"
 #include "common/memtracker.h"
 #include "memory/activation_model.h"
+#include "runtime/overlap.h"
 
 namespace mls::pipeline {
 
@@ -37,6 +38,7 @@ PipelineEngine::PipelineEngine(const model::ModelConfig& cfg, comm::Comm& world,
     spec.has_head = (v == last_stage_);
     chunks_.push_back(std::make_unique<model::GPTModel>(cfg_, tp_, spec));
   }
+  for (auto& c : chunks_) c->env().overlap_recompute = opts_.overlap_recompute;
 }
 
 int PipelineEngine::fwd_tag(int boundary, int mb) const {
@@ -83,6 +85,19 @@ IterationStats PipelineEngine::run_iteration(
   const auto ops =
       build_schedule(opts_.schedule, cfg_.p, pp_.rank(), n, m);
 
+  // Overlap mode: the guard makes every ag::backward below schedule its
+  // collectives nonblocking with replay prefetch, and boundary sends go
+  // out as isend (their handles drain before the final syncs).
+  runtime::OverlapGuard overlap_guard(opts_.overlap_recompute);
+  std::vector<comm::CommHandle> pending_sends;
+  auto boundary_send = [&](int dst, int tag, const Tensor& t) {
+    if (opts_.overlap_recompute) {
+      pending_sends.push_back(pp_.isend(dst, tag, t));
+    } else {
+      pp_.send(dst, tag, t);
+    }
+  };
+
   for (const auto& op : ops) {
     const int v = virtual_stage(op.chunk);
     auto& model = *chunks_[static_cast<size_t>(op.chunk)];
@@ -128,11 +143,12 @@ IterationStats PipelineEngine::run_iteration(
         loss_sum += loss.item();
         st.output = loss;
       } else {
-        pp_.send(rank_of_stage(v + 1), fwd_tag(v + 1, op.microbatch),
-                 st.output.value());
+        boundary_send(rank_of_stage(v + 1), fwd_tag(v + 1, op.microbatch),
+                      st.output.value());
         if (opts_.deallocate_outputs) {
           // Appendix B: the output's data is redundant with the next
-          // stage's input from here on.
+          // stage's input from here on (isend clones eagerly, so the
+          // release is safe even before the send task has run).
           st.output.impl()->value.release();
         } else {
           st.extra_output_bytes = st.output.value().logical_bytes();
@@ -154,13 +170,15 @@ IterationStats PipelineEngine::run_iteration(
         ag::backward(st.output, dy);
       }
       if (v > 0) {
-        pp_.send(rank_of_stage(v - 1), bwd_tag(v, op.microbatch),
-                 st.input.grad());
+        boundary_send(rank_of_stage(v - 1), bwd_tag(v, op.microbatch),
+                      st.input.grad());
       }
       if (st.extra_output_bytes > 0) mt.on_free_extra(st.extra_output_bytes);
     }
   }
   MLS_CHECK(live.empty()) << "unbalanced schedule";
+  for (auto& h : pending_sends) h.wait();
+  pending_sends.clear();
 
   // Post-iteration synchronizations (within the replica first, then the
   // data-parallel gradient all-reduce across replicas — §6.3).

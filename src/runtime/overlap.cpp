@@ -1,0 +1,78 @@
+#include "runtime/overlap.h"
+
+#include <chrono>
+
+#include "common/check.h"
+
+namespace mls::runtime {
+
+namespace {
+thread_local OverlapScheduler* g_current = nullptr;
+}  // namespace
+
+OverlapScheduler* OverlapScheduler::current() { return g_current; }
+
+void OverlapScheduler::begin_scope() { scopes_.emplace_back(); }
+
+void OverlapScheduler::end_scope() {
+  MLS_CHECK(!scopes_.empty()) << "end_scope without begin_scope";
+  scopes_.pop_back();
+}
+
+void OverlapScheduler::add_prefetch(const void* key,
+                                    std::function<void()> run) {
+  MLS_CHECK(!scopes_.empty()) << "add_prefetch outside a scope";
+  scopes_.back().push_back(Task{key, std::move(run), /*done=*/false});
+}
+
+void OverlapScheduler::on_comm_launch() {
+  ++stats_.comm_windows;
+  window_work_.push_back(0.0);
+  if (scopes_.empty()) return;
+  auto& scope = scopes_.back();
+  // Cap the lookahead: if the front replay is already done but its node
+  // has not been reached yet, do not start the one behind it.
+  if (scope.empty() || scope.front().done) return;
+  Task& task = scope.front();
+  const auto t0 = std::chrono::steady_clock::now();
+  task.run();
+  task.done = true;
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  stats_.prefetch_seconds += dt;
+  window_work_.back() += dt;
+  ++stats_.prefetches;
+}
+
+bool OverlapScheduler::node_reached(const void* key) {
+  if (scopes_.empty()) return false;
+  auto& scope = scopes_.back();
+  for (auto it = scope.begin(); it != scope.end(); ++it) {
+    if (it->key != key) continue;
+    const bool prefetched = it->done;
+    scope.erase(it);
+    prefetched ? void() : void(++stats_.inline_replays);
+    return prefetched;
+  }
+  return false;
+}
+
+void OverlapScheduler::note_window_compute(double seconds) {
+  if (window_work_.empty()) return;
+  stats_.window_compute_seconds += seconds;
+  window_work_.back() += seconds;
+}
+
+OverlapGuard::OverlapGuard(bool active) : active_(active) {
+  if (!active_) return;
+  prev_ = g_current;
+  g_current = &sched_;
+}
+
+OverlapGuard::~OverlapGuard() {
+  if (!active_) return;
+  g_current = prev_;
+}
+
+}  // namespace mls::runtime

@@ -1,0 +1,94 @@
+#include "runtime/stream.h"
+
+namespace mls::runtime {
+
+bool Event::ready() const {
+  if (!state_) return true;  // an unrecorded event is trivially complete
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->set;
+}
+
+void Event::wait() {
+  if (!state_) return;
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->set; });
+}
+
+Stream::Stream(std::string name) : name_(std::move(name)) {
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+Stream::~Stream() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void Stream::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_all();
+}
+
+Event Stream::record_event() {
+  Event e;
+  e.state_ = std::make_shared<Event::State>();
+  auto state = e.state_;
+  enqueue([state] {
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->set = true;
+    }
+    state->cv.notify_all();
+  });
+  return e;
+}
+
+void Stream::synchronize() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && !running_task_; });
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+int64_t Stream::tasks_executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return executed_;
+}
+
+void Stream::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      running_task_ = true;
+    }
+    std::exception_ptr err;
+    try {
+      task();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      running_task_ = false;
+      ++executed_;
+      if (err && !first_error_) first_error_ = err;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace mls::runtime

@@ -1,0 +1,88 @@
+// Stream: a per-rank FIFO work queue executed by a dedicated worker
+// thread — the simulation's analogue of a CUDA stream. Work submitted
+// to a stream runs asynchronously with respect to the submitting
+// (compute) thread but strictly in submission order, which is exactly
+// the ordering contract nonblocking NCCL collectives rely on: every
+// rank enqueues the same collective sequence, so the rendezvous inside
+// each collective matches up across ranks.
+//
+// Event: a completion marker recorded into a stream. wait() blocks the
+// caller until every task enqueued before the record has finished —
+// the cudaEventRecord / cudaStreamWaitEvent pair, minus the GPU.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace mls::runtime {
+
+class Event {
+ public:
+  Event() = default;
+  bool valid() const { return state_ != nullptr; }
+  // True once every task enqueued before the record has run.
+  bool ready() const;
+  // Blocks until ready.
+  void wait();
+
+ private:
+  friend class Stream;
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool set = false;
+  };
+  std::shared_ptr<State> state_;
+};
+
+class Stream {
+ public:
+  explicit Stream(std::string name = "stream");
+  // Drains the queue (every enqueued task still runs), then joins the
+  // worker.
+  ~Stream();
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  // Appends a task; returns immediately. Tasks run one at a time in
+  // FIFO order on the worker thread. A task that throws poisons the
+  // stream: the exception is stashed and rethrown by the next
+  // synchronize() (tasks needing finer-grained error delivery — e.g.
+  // nonblocking collectives — catch into their own completion handle
+  // instead).
+  void enqueue(std::function<void()> task);
+
+  // A marker that becomes ready when all previously enqueued work is
+  // done.
+  Event record_event();
+
+  // Blocks until the queue is empty and the worker is idle; rethrows
+  // the first stashed task exception, if any.
+  void synchronize();
+
+  const std::string& name() const { return name_; }
+  // Tasks fully executed so far (diagnostics / tests).
+  int64_t tasks_executed() const;
+
+ private:
+  void worker_loop();
+
+  std::string name_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // wakes the worker
+  std::condition_variable idle_cv_;   // wakes synchronize()
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  bool running_task_ = false;
+  int64_t executed_ = 0;
+  std::exception_ptr first_error_;
+  std::thread worker_;
+};
+
+}  // namespace mls::runtime

@@ -234,9 +234,29 @@ TEST(CommTraffic, P2PBytesCounted) {
       c.send(1, 0, t);
       ASSERT_EQ(c.stats().p2p_bytes_sent, 20);
       ASSERT_EQ(c.stats().p2p_send_count, 1);
+      ASSERT_EQ(c.stats().p2p_recv_count, 0);
     } else {
       (void)c.recv(0, 0);
+      ASSERT_EQ(c.stats().p2p_recv_count, 1);
+      ASSERT_EQ(c.stats().p2p_bytes_received, 20);
+      ASSERT_EQ(c.stats().p2p_send_count, 0);
     }
+  });
+}
+
+TEST(CommTraffic, P2PSendRecvSymmetry) {
+  // Every byte sent is a byte received: after a symmetric exchange, each
+  // rank's send-side counters equal its recv-side counters exactly.
+  spmd::run(2, [](comm::Comm& c) {
+    const int peer = 1 - c.rank();
+    for (int i = 0; i < 3; ++i) {
+      c.send(peer, i, Tensor::zeros(Shape{{4 + i}}, Dtype::F16));
+      (void)c.recv(peer, i);
+    }
+    ASSERT_EQ(c.stats().p2p_send_count, 3);
+    ASSERT_EQ(c.stats().p2p_recv_count, c.stats().p2p_send_count);
+    ASSERT_EQ(c.stats().p2p_bytes_sent, 2 * (4 + 5 + 6));
+    ASSERT_EQ(c.stats().p2p_bytes_received, c.stats().p2p_bytes_sent);
   });
 }
 

@@ -3,6 +3,9 @@
 // failure modes a downstream user will actually hit.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "autograd/engine.h"
 #include "autograd/functions.h"
 #include "comm/spmd.h"
@@ -113,6 +116,41 @@ TEST(CommErrors, InvalidHandleRejectsCollectives) {
   EXPECT_FALSE(invalid.valid());
   EXPECT_THROW(invalid.all_reduce(t), Error);
   EXPECT_THROW(invalid.barrier(), Error);
+}
+
+TEST(CommErrors, PoisonUnblocksPendingRecv) {
+  // Rank 0 blocks in recv on a message that never comes; rank 1's
+  // failure poisons the world and must wake rank 0 with an error rather
+  // than leaving it to the mailbox timeout.
+  EXPECT_THROW(
+      spmd::run(2,
+                [](comm::Comm& c) {
+                  if (c.rank() == 0) {
+                    (void)c.recv(1, 0);
+                  } else {
+                    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+                    throw Error("rank 1 failed");
+                  }
+                }),
+      Error);
+}
+
+TEST(CommErrors, PoisonUnblocksPendingHandleWait) {
+  // Same, but rank 0 is parked in CommHandle::wait() on a nonblocking
+  // receive running on its comm stream: poison must propagate through
+  // the stream task into the handle.
+  EXPECT_THROW(
+      spmd::run(2,
+                [](comm::Comm& c) {
+                  if (c.rank() == 0) {
+                    comm::CommHandle h = c.irecv(1, 0);
+                    h.wait();
+                  } else {
+                    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+                    throw Error("rank 1 failed");
+                  }
+                }),
+      Error);
 }
 
 TEST(CommErrors, ReduceScatterRequiresDivisibleDim) {

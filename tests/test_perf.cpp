@@ -241,6 +241,43 @@ TEST(PipelineSim, InterleavingShrinksBubble) {
   EXPECT_LT(ei.bubble_fraction, ep.bubble_fraction);
 }
 
+// ------------------------------------------------------ overlap term
+
+TEST(OverlapTerm, MaxReplacesSerialSum) {
+  const MachineModel mm = MachineModel::a100();
+  const ModelConfig cfg = ModelConfig::gpt_22b();
+  const auto lt = perf::layer_time(cfg, mm, true, Recompute::kSelective);
+  EXPECT_GT(lt.backward_comm, 0.0);
+  EXPECT_LE(lt.backward_comm, lt.backward);
+  EXPECT_DOUBLE_EQ(lt.backward_with_recompute(false),
+                   lt.backward + lt.recompute);
+  EXPECT_DOUBLE_EQ(
+      lt.backward_with_recompute(true),
+      lt.backward - lt.backward_comm +
+          std::max(lt.backward_comm, lt.recompute));
+  // Hiding the replay can only help (or tie).
+  EXPECT_LE(lt.backward_with_recompute(true),
+            lt.backward_with_recompute(false));
+}
+
+TEST(OverlapTerm, IterationEstimateHonoursGating) {
+  const MachineModel mm = MachineModel::a100();
+  const ModelConfig cfg = ModelConfig::gpt_175b();
+  // Selective: overlapping the replay never slows the iteration down.
+  const auto sel_off =
+      perf::estimate_iteration_time(cfg, mm, true, Recompute::kSelective);
+  const auto sel_on = perf::estimate_iteration_time(
+      cfg, mm, true, Recompute::kSelective, /*overlap_recompute=*/true);
+  EXPECT_LE(sel_on.seconds, sel_off.seconds);
+  // Full-layer replays contain collectives and cannot overlap: the
+  // flag must be a no-op.
+  const auto full_off =
+      perf::estimate_iteration_time(cfg, mm, true, Recompute::kFull);
+  const auto full_on = perf::estimate_iteration_time(
+      cfg, mm, true, Recompute::kFull, /*overlap_recompute=*/true);
+  EXPECT_DOUBLE_EQ(full_on.seconds, full_off.seconds);
+}
+
 TEST(PipelineSim, MoreMicrobatchesAmortizeTheBubble) {
   const MachineModel mm = MachineModel::a100();
   ModelConfig small = ModelConfig::gpt_175b();
