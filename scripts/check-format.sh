@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Checks that every C++ source under src/ tests/ bench/ is clang-format
-# clean (per the repo .clang-format). Exits nonzero listing offending
-# files; with no clang-format on PATH it skips with a warning so local
-# builds on minimal images keep working (CI installs it).
+# Checks that every C++ source under src/ (including src/analysis)
+# tests/ bench/ examples/ is clang-format clean (per the repo
+# .clang-format). Exits nonzero listing offending files; with no
+# clang-format on PATH it skips with a warning so local builds on
+# minimal images keep working (CI installs it).
 set -u
 
 cd "$(dirname "$0")/.."
@@ -28,11 +29,11 @@ while IFS= read -r f; do
     echo "needs formatting: $f"
     bad=1
   fi
-done < <(find src tests bench -name '*.cpp' -o -name '*.h' | sort)
+done < <(find src tests bench examples -name '*.cpp' -o -name '*.h' | sort)
 
 if [ "$bad" -ne 0 ]; then
   echo ""
-  echo "Run: $CLANG_FORMAT -i \$(find src tests bench -name '*.cpp' -o -name '*.h')"
+  echo "Run: $CLANG_FORMAT -i \$(find src tests bench examples -name '*.cpp' -o -name '*.h')"
   exit 1
 fi
 echo "check-format: all files clean."

@@ -1,0 +1,142 @@
+#!/usr/bin/env bash
+# Custom greppable lint checks for hazards clang-tidy does not model in
+# this codebase (thread-per-rank simulator; see DESIGN.md "Analysis
+# layer"). Three checks, all heuristic but zero-noise on this repo:
+#
+#   raw-lock         — a bare `foo_mu.lock()` on a mutex-named variable.
+#                      Locks must be held through std::lock_guard /
+#                      std::unique_lock / std::scoped_lock so an
+#                      exception (poisoned barrier, ledger mismatch)
+#                      cannot leave a mutex locked forever.
+#   comm-under-lock  — a blocking collective / p2p / barrier call made
+#                      while a lock guard is live in the enclosing
+#                      scope. A rank that blocks in a rendezvous while
+#                      holding a lock deadlocks any peer that needs the
+#                      same lock to reach its rendezvous.
+#   unwaited-handle  — a named CommHandle that is never wait()ed,
+#                      result()ed, abandon()ed, moved, stored, or
+#                      returned before its scope ends. Dropped handles
+#                      swallow errors from the async op (the runtime
+#                      leak audit catches this dynamically; this is the
+#                      static side).
+#
+# Suppress a deliberate instance with a comment on the offending line:
+#   // lint:allow(raw-lock)
+#   // lint:allow(comm-under-lock)
+#   // lint:allow(unwaited-handle)
+#
+# Exits nonzero if any check fires. Pure bash+grep+awk: runs on the
+# minimal container image, no clang tooling needed.
+set -u
+
+cd "$(dirname "$0")/.."
+
+FILES=$(find src tests bench examples -name '*.cpp' -o -name '*.h' | sort)
+status=0
+
+# ------------------------------------------------------------ raw-lock
+# Variables named *mu / *mutex / *mtx (with optional trailing _) must
+# not be locked manually.
+raw_lock=$(grep -nE '\b[A-Za-z_][A-Za-z0-9_]*(mu|mutex|mtx)_?\.lock\(\)' \
+    $FILES /dev/null 2>/dev/null | grep -v 'lint:allow(raw-lock)' || true)
+if [ -n "$raw_lock" ]; then
+  echo "lint: raw mutex .lock() without a guard (use std::lock_guard;"
+  echo "      suppress with // lint:allow(raw-lock)):"
+  echo "$raw_lock" | sed 's/^/  /'
+  status=1
+fi
+
+# ----------------------------------------------------- comm-under-lock
+# Brace-depth scan: after a std::{lock_guard,unique_lock,scoped_lock}
+# declaration, any blocking comm call before the guard's scope closes
+# is flagged. Condvar waits are not comm calls and do not trip this.
+comm_under_lock=$(awk '
+  FNR == 1 { depth = 0; nlocks = 0 }
+  {
+    line = $0
+    suppressed = (line ~ /lint:allow\(comm-under-lock\)/)
+    sub(/\/\/.*/, "", line)
+    gsub(/"([^"\\]|\\.)*"/, "\"\"", line)
+    is_lock = (line ~ /std::(lock_guard|unique_lock|scoped_lock)[ \t]*</)
+    is_comm = (line ~ /\.(all_reduce|all_gather|reduce_scatter|broadcast|barrier|recv|send)[ \t]*\(/ \
+               || line ~ /\.arrive_and_wait[ \t]*\(/)
+    if (is_comm && nlocks > 0 && !suppressed && !is_lock)
+      printf "  %s:%d: blocking comm call while a lock guard is live\n", \
+             FILENAME, FNR
+    n = length(line)
+    for (i = 1; i <= n; i++) {
+      ch = substr(line, i, 1)
+      if (ch == "{") depth++
+      else if (ch == "}") {
+        depth--
+        while (nlocks > 0 && lockdepth[nlocks] > depth) nlocks--
+      }
+    }
+    if (is_lock) { nlocks++; lockdepth[nlocks] = depth }
+  }
+' $FILES)
+if [ -n "$comm_under_lock" ]; then
+  echo "lint: blocking collective/p2p while holding a lock (deadlocks the"
+  echo "      peer rank; suppress with // lint:allow(comm-under-lock)):"
+  echo "$comm_under_lock"
+  status=1
+fi
+
+# ----------------------------------------------------- unwaited-handle
+# A `CommHandle name = ...` (or `auto name = c.i*(...)`) declaration
+# must be settled — name.wait()/result()/abandon(), std::move(name),
+# push_back/emplace_back(name), or `return name` — before the first
+# column-0 `}` (end of the enclosing function) after it.
+unwaited=$(awk '
+  function settles(line, name) {
+    return (line ~ ("(^|[^A-Za-z0-9_])" name "\\.(wait|result|abandon)[ \t]*\\(") \
+            || line ~ ("std::move\\([ \t]*" name "[ \t]*\\)") \
+            || line ~ ("(push_back|emplace_back)\\([ \t]*" name "([ \t]*\\)|,)") \
+            || line ~ ("return[ \t]+" name "[ \t]*;"))
+  }
+  FNR == 1 { nh = 0 }
+  {
+    line = $0
+    sub(/\/\/.*/, "", line)
+    decl = ""
+    if (line ~ /^[ \t]*(comm::)?CommHandle[ \t]+[A-Za-z_][A-Za-z0-9_]*[ \t]*=/) {
+      decl = line
+      sub(/^[ \t]*(comm::)?CommHandle[ \t]+/, "", decl)
+    } else if (line ~ /^[ \t]*auto[ \t]+[A-Za-z_][A-Za-z0-9_]*[ \t]*=[^=].*\.i(all_reduce|all_gather|reduce_scatter|send|recv)[ \t]*\(/) {
+      decl = line
+      sub(/^[ \t]*auto[ \t]+/, "", decl)
+    }
+    if (decl != "" && $0 !~ /lint:allow\(unwaited-handle\)/ \
+        && line !~ /\.(wait|result|abandon)[ \t]*\(/) {
+      sub(/[ \t]*=.*/, "", decl)
+      nh++; hname[nh] = decl; hline[nh] = FNR; done[nh] = 0
+    }
+    for (i = 1; i <= nh; i++)
+      if (!done[i] && FNR > hline[i] && settles(line, hname[i])) done[i] = 1
+    if ($0 ~ /^}/) {
+      for (i = 1; i <= nh; i++)
+        if (!done[i])
+          printf "  %s:%d: CommHandle \x27%s\x27 never waited/result/abandoned\n", \
+                 FILENAME, hline[i], hname[i]
+      nh = 0
+    }
+  }
+  END {
+    for (i = 1; i <= nh; i++)
+      if (!done[i])
+        printf "  %s:%d: CommHandle \x27%s\x27 never waited/result/abandoned\n", \
+               FILENAME, hline[i], hname[i]
+  }
+' $FILES)
+if [ -n "$unwaited" ]; then
+  echo "lint: CommHandle dropped without wait()/result()/abandon() (errors"
+  echo "      from the async op are lost; suppress with"
+  echo "      // lint:allow(unwaited-handle)):"
+  echo "$unwaited"
+  status=1
+fi
+
+if [ "$status" -eq 0 ]; then
+  echo "lint: all checks clean."
+fi
+exit "$status"

@@ -1,0 +1,70 @@
+#include "analysis/watchdog.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "analysis/report.h"
+
+namespace mls::analysis {
+
+Watchdog::Watchdog(std::shared_ptr<Ledger> ledger,
+                   std::function<void(const std::string&)> on_hang)
+    : ledger_(std::move(ledger)), on_hang_(std::move(on_hang)) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+bool Watchdog::fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+void Watchdog::loop() {
+  const double deadline = ledger_->options().watchdog_sec;
+  const auto poll = std::chrono::duration<double>(
+      std::clamp(deadline / 4.0, 0.01, 0.5));
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (cv_.wait_for(lock, poll, [&] { return stop_; })) return;
+    }
+    const double t = ledger_->now();
+    const auto per_rank = ledger_->snapshot();
+    std::ostringstream stuck;
+    int n_stuck = 0;
+    for (size_t r = 0; r < per_rank.size(); ++r) {
+      for (const auto& rec : per_rank[r]) {
+        if (rec.end != 0 || t - rec.start <= deadline) continue;
+        stuck << "  rank " << r << " stuck in " << format_record(rec)
+              << " for " << static_cast<int64_t>((t - rec.start) * 1e3)
+              << " ms\n";
+        ++n_stuck;
+      }
+    }
+    if (n_stuck == 0) continue;
+    std::ostringstream report;
+    report << "comm watchdog: " << n_stuck << " operation(s) in group '"
+           << ledger_->group() << "' exceeded the " << deadline
+           << " s deadline — likely a mismatched or missing collective on "
+           << "a peer rank.\n"
+           << stuck.str()
+           << format_flight_dump(ledger_->group(), per_rank, t);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      fired_ = true;
+    }
+    on_hang_(report.str());
+    return;  // one shot: the owner is poisoning the communicator
+  }
+}
+
+}  // namespace mls::analysis

@@ -10,6 +10,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <string>
 
 #include "common/check.h"
 
@@ -23,7 +24,7 @@ class Barrier {
   // wait exceeds the timeout (indicating a lost rank).
   void arrive_and_wait(std::chrono::seconds timeout = std::chrono::seconds(120)) {
     std::unique_lock<std::mutex> lock(mu_);
-    MLS_CHECK(!poisoned_) << "barrier poisoned (another rank failed)";
+    MLS_CHECK(!poisoned_) << "barrier poisoned: " << reason_;
     const uint64_t gen = generation_;
     if (++arrived_ == parties_) {
       arrived_ = 0;
@@ -35,12 +36,16 @@ class Barrier {
       return generation_ != gen || poisoned_;
     });
     MLS_CHECK(ok) << "barrier timeout: a rank stopped participating";
-    MLS_CHECK(!poisoned_) << "barrier poisoned (another rank failed)";
+    MLS_CHECK(!poisoned_) << "barrier poisoned: " << reason_;
   }
 
-  // Wakes all current and future waiters with an error.
-  void poison() {
+  // Wakes all current and future waiters with an error. The first
+  // reason wins; it is carried into every waiter's exception so the
+  // originating diagnostic (rank failure, collective mismatch, watchdog
+  // report) survives fan-out to the peers.
+  void poison(const std::string& reason = "another rank failed") {
     std::lock_guard<std::mutex> lock(mu_);
+    if (!poisoned_) reason_ = reason;
     poisoned_ = true;
     cv_.notify_all();
   }
@@ -52,6 +57,7 @@ class Barrier {
   int arrived_ = 0;
   uint64_t generation_ = 0;
   bool poisoned_ = false;
+  std::string reason_;
 };
 
 }  // namespace mls::comm

@@ -4,12 +4,18 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 
+#include "analysis/ledger.h"
+#include "analysis/watchdog.h"
 #include "comm/barrier.h"
 #include "common/check.h"
 #include "runtime/stream.h"
@@ -21,9 +27,38 @@ namespace mls::comm {
 // World via shared_ptr; per-collective staging goes through `bufs`.
 class World {
  public:
-  explicit World(int size) : size(size), barrier(size), bufs(size, nullptr) {}
+  World(int size, std::string name_in, analysis::Options opts_in)
+      : size(size),
+        name(std::move(name_in)),
+        opts(opts_in),
+        barrier(size),
+        bufs(size, nullptr) {
+    // The analyzer is strictly opt-in and irrelevant for single-rank
+    // groups: without a ledger every collective pays exactly one
+    // null-pointer branch.
+    if (size > 1 && opts.enabled()) {
+      ledger = std::make_shared<analysis::Ledger>(name, size, opts);
+      // A rank that detects a mismatch is about to throw while its
+      // peers head into a rendezvous that can never complete; poison
+      // them with the report so every rank unwinds carrying it.
+      ledger->set_failure_handler(
+          [this](const std::string& report) { poison(report); });
+      if (opts.watchdog) {
+        watchdog = std::make_unique<analysis::Watchdog>(
+            ledger, [this](const std::string& report) {
+              std::fputs((report + "\n").c_str(), stderr);
+              poison(report);
+            });
+      }
+    }
+  }
 
   const int size;
+  const std::string name;           // analyzer group label
+  const analysis::Options opts;     // inherited by split() children
+  // Null unless the analyzer is on; outlives `streams` (declared below)
+  // because draining comm-stream tasks still record into it.
+  std::shared_ptr<analysis::Ledger> ledger;
   Barrier barrier;
   std::vector<float*> bufs;
   std::vector<int> split_colors = std::vector<int>(static_cast<size_t>(size), 0);
@@ -47,19 +82,23 @@ class World {
     return *s;
   }
 
-  void poison() {
-    barrier.poison();
-    mailbox.poison();
+  void poison(const std::string& reason = "another rank failed") {
+    barrier.poison(reason);
+    mailbox.poison(reason);
     std::lock_guard<std::mutex> lock(split_mu);
     for (auto& w : children) {
-      if (auto c = w.lock()) c->poison();
+      if (auto c = w.lock()) c->poison(reason);
     }
   }
 
-  // Declared last so the streams drain (tasks may still touch the
-  // barrier / mailbox above) before the rest of the World is destroyed.
+  // Declared last-but-one so the streams drain (tasks may still touch
+  // the barrier / mailbox / ledger above) before the rest of the World
+  // is destroyed.
   std::mutex stream_mu;
   std::vector<std::unique_ptr<runtime::Stream>> streams;
+  // Declared very last: the monitor thread is joined before anything it
+  // watches (ledger, barrier, this World itself) starts dying.
+  std::unique_ptr<analysis::Watchdog> watchdog;
 };
 
 struct CommHandle::State {
@@ -68,7 +107,108 @@ struct CommHandle::State {
   bool done = false;
   std::exception_ptr err;
   Tensor result;
+  // True once the owner acknowledged completion (wait / result /
+  // abandon). The handle registry audits this at communicator teardown.
+  std::atomic<bool> settled{false};
 };
+
+// Leaked-CommHandle detector (ISSUE satellite: the latent leak class).
+// One registry is shared — like TrafficStats — by every copy and stream
+// alias of a rank handle; pending i* operations register their State
+// here. When the last copy of the lineage dies, any State never
+// settled via wait()/result()/abandon() is reported: an unwaited
+// nonblocking op means nobody can observe its error (a poisoned
+// communicator, a bad peer), the classic silently-dropped-isend bug at
+// pipeline drain. Debug builds treat this as an assertion on Comm's
+// destruction path; MLS_LEAK_FATAL=1 upgrades the report to abort().
+class HandleRegistry {
+ public:
+  HandleRegistry(int rank, bool fatal) : rank_(rank), fatal_(fatal) {}
+  HandleRegistry(const HandleRegistry&) = delete;
+  HandleRegistry& operator=(const HandleRegistry&) = delete;
+
+  void add(std::shared_ptr<CommHandle::State> state, std::string what) {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Prune acknowledged entries so the registry stays bounded by the
+    // number of genuinely in-flight handles.
+    entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                  [](const Entry& e) {
+                                    return e.state->settled.load(
+                                        std::memory_order_relaxed);
+                                  }),
+                   entries_.end());
+    entries_.push_back(Entry{std::move(state), std::move(what)});
+  }
+
+  ~HandleRegistry() {
+    // No lock: we are the last reference by definition.
+    int64_t leaks = 0;
+    std::string detail;
+    for (const auto& e : entries_) {
+      if (e.state->settled.load(std::memory_order_relaxed)) continue;
+      ++leaks;
+      detail += "  leaked handle: " + e.what + "\n";
+    }
+    if (leaks == 0) return;
+    const std::string report =
+        "comm handle leak on rank " + std::to_string(rank_) + ": " +
+        std::to_string(leaks) +
+        " nonblocking operation(s) destroyed without wait()/result()/"
+        "abandon()\n" +
+        detail;
+    std::fputs(report.c_str(), stderr);
+    analysis::note_handle_leaks(leaks);
+    if (fatal_) std::abort();
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<CommHandle::State> state;
+    std::string what;
+  };
+  std::mutex mu_;
+  const int rank_;
+  const bool fatal_;
+  std::vector<Entry> entries_;
+};
+
+namespace {
+
+// Whether a fresh communicator should carry a handle registry: only
+// when something can read the verdict (analyzer on, or a debug build
+// where the audit doubles as a destructor assertion) — keeping the
+// analyzer-off release path at literally zero added work per op.
+bool want_leak_check(const analysis::Options& opts) {
+#ifndef NDEBUG
+  return opts.leak_check;
+#else
+  return opts.leak_check && opts.enabled();
+#endif
+}
+
+// RAII ledger recorder around one comm operation. A null ledger makes
+// both ends no-ops; begin() may throw the structured mismatch report.
+struct OpScope {
+  analysis::Ledger* ledger = nullptr;
+  int rank = 0;
+  int64_t id = -1;
+
+  OpScope(const std::shared_ptr<analysis::Ledger>& l, int rank_in,
+          analysis::CommRecord rec)
+      : ledger(l.get()), rank(rank_in) {
+    if (!ledger) return;
+    // Ops running on a comm-stream worker came through the i* API.
+    rec.async = runtime::Stream::on_worker_thread();
+    id = ledger->begin(rank, std::move(rec));
+  }
+  ~OpScope() {
+    if (ledger && id >= 0) ledger->end(rank, id);
+  }
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+};
+
+}  // namespace
 
 bool CommHandle::done() const {
   if (!state_) return true;
@@ -80,6 +220,7 @@ void CommHandle::wait() {
   if (!state_) return;
   std::unique_lock<std::mutex> lock(state_->mu);
   state_->cv.wait(lock, [&] { return state_->done; });
+  state_->settled.store(true, std::memory_order_relaxed);
   if (state_->err) std::rethrow_exception(state_->err);
 }
 
@@ -89,15 +230,26 @@ Tensor CommHandle::result() {
   return state_->result;
 }
 
+void CommHandle::abandon() {
+  if (state_) state_->settled.store(true, std::memory_order_relaxed);
+}
+
 Comm::Comm(std::shared_ptr<World> world, int rank)
     : world_(std::move(world)), rank_(rank), stats_(std::make_shared<TrafficStats>()) {}
 
-std::vector<Comm> Comm::create_group(int size) {
+std::vector<Comm> Comm::create_group(int size, std::string name) {
   MLS_CHECK_GE(size, 1);
-  auto world = std::make_shared<World>(size);
+  const analysis::Options opts = analysis::Options::effective();
+  auto world = std::make_shared<World>(size, std::move(name), opts);
   std::vector<Comm> comms;
   comms.reserve(static_cast<size_t>(size));
-  for (int r = 0; r < size; ++r) comms.push_back(Comm(world, r));
+  for (int r = 0; r < size; ++r) {
+    Comm c(world, r);
+    if (size > 1 && want_leak_check(opts)) {
+      c.handles_ = std::make_shared<HandleRegistry>(r, opts.leak_fatal);
+    }
+    comms.push_back(std::move(c));
+  }
   return comms;
 }
 
@@ -105,6 +257,8 @@ int Comm::size() const { return world_ ? world_->size : 1; }
 
 void Comm::barrier() {
   MLS_CHECK(valid());
+  OpScope scope(world_->ledger, rank_,
+                {.kind = analysis::OpKind::kBarrier});
   world_->barrier.arrive_and_wait();
 }
 
@@ -177,6 +331,11 @@ void Comm::set_injected_comm_latency(double sec_per_byte, double sec_fixed) {
 
 void Comm::all_reduce(Tensor& t, ReduceOp op) {
   MLS_CHECK(valid());
+  OpScope scope(world_->ledger, rank_,
+                {.kind = analysis::OpKind::kAllReduce,
+                 .reduce_op = static_cast<int>(op),
+                 .dtype = static_cast<int>(t.dtype()),
+                 .count = t.numel()});
   ++stats_->all_reduce_count;
   if (size() == 1) return;
   const int64_t n = t.numel();
@@ -192,9 +351,16 @@ void Comm::all_reduce(Tensor& t, ReduceOp op) {
 
 Tensor Comm::all_gather(const Tensor& shard, int dim) {
   MLS_CHECK(valid());
+  // Record the normalized axis so -1 vs. explicit trailing-dim callers
+  // don't produce a spurious cross-rank mismatch.
+  dim = shard.shape().normalize_axis(dim);
+  OpScope scope(world_->ledger, rank_,
+                {.kind = analysis::OpKind::kAllGather,
+                 .dtype = static_cast<int>(shard.dtype()),
+                 .count = shard.numel(),
+                 .dim = dim});
   ++stats_->all_gather_count;
   if (size() == 1) return shard.clone();
-  dim = shard.shape().normalize_axis(dim);
   const int T = size();
   const int64_t before = stats_->bytes_received;
   const int64_t shard_elems = shard.numel();
@@ -227,9 +393,14 @@ Tensor Comm::all_gather(const Tensor& shard, int dim) {
 
 Tensor Comm::reduce_scatter(const Tensor& full, int dim) {
   MLS_CHECK(valid());
+  dim = full.shape().normalize_axis(dim);
+  OpScope scope(world_->ledger, rank_,
+                {.kind = analysis::OpKind::kReduceScatter,
+                 .dtype = static_cast<int>(full.dtype()),
+                 .count = full.numel(),
+                 .dim = dim});
   ++stats_->reduce_scatter_count;
   if (size() == 1) return full.clone();
-  dim = full.shape().normalize_axis(dim);
   const int T = size();
   MLS_CHECK_EQ(full.dim(dim) % T, 0)
       << "reduce_scatter dim " << dim << " of " << full.shape().str();
@@ -269,6 +440,11 @@ Tensor Comm::reduce_scatter(const Tensor& full, int dim) {
 
 void Comm::broadcast(Tensor& t, int root) {
   MLS_CHECK(valid());
+  OpScope scope(world_->ledger, rank_,
+                {.kind = analysis::OpKind::kBroadcast,
+                 .dtype = static_cast<int>(t.dtype()),
+                 .count = t.numel(),
+                 .dim = root});
   ++stats_->broadcast_count;
   if (size() == 1) return;
   world_->bufs[static_cast<size_t>(rank_)] = t.data();
@@ -283,6 +459,10 @@ void Comm::broadcast(Tensor& t, int root) {
 
 Comm Comm::split(int color) const {
   MLS_CHECK(valid());
+  // Split colors legitimately differ per rank; records_match only
+  // checks that every rank is in fact splitting (vs. some other op).
+  OpScope scope(world_->ledger, rank_,
+                {.kind = analysis::OpKind::kSplit, .dim = color});
   world_->split_colors[static_cast<size_t>(rank_)] = color;
   world_->barrier.arrive_and_wait();
 
@@ -297,9 +477,13 @@ Comm Comm::split(int color) const {
   }
   MLS_CHECK_GE(sub_rank, 0);
 
-  // The lowest member of each color creates the sub-world.
+  // The lowest member of each color creates the sub-world. Children
+  // inherit the parent's analyzer options and derive their diagnostic
+  // label from its group name.
   if (members[0] == rank_) {
-    auto sub = std::make_shared<World>(static_cast<int>(members.size()));
+    auto sub = std::make_shared<World>(static_cast<int>(members.size()),
+                                       world_->name + "/c" + std::to_string(color),
+                                       world_->opts);
     std::lock_guard<std::mutex> lock(world_->split_mu);
     world_->pending_splits[color] = sub;
     world_->children.push_back(sub);
@@ -317,11 +501,23 @@ Comm Comm::split(int color) const {
     std::lock_guard<std::mutex> lock(world_->split_mu);
     world_->pending_splits.erase(color);
   }
-  return Comm(std::move(sub), sub_rank);
+  Comm child(sub, sub_rank);
+  if (sub->size > 1 && want_leak_check(sub->opts)) {
+    child.handles_ = std::make_shared<HandleRegistry>(sub_rank, sub->opts.leak_fatal);
+  }
+  return child;
 }
 
 void Comm::send(int dst, int tag, const Tensor& t) {
   MLS_CHECK(valid());
+  // p2p events are flight-recorded (peer / tag / bytes / site) but
+  // never cross-rank validated: send/recv pairing is asymmetric.
+  OpScope scope(world_->ledger, rank_,
+                {.kind = analysis::OpKind::kSend,
+                 .dtype = static_cast<int>(t.dtype()),
+                 .count = t.numel(),
+                 .peer = dst,
+                 .tag = tag});
   ++stats_->p2p_send_count;
   stats_->p2p_bytes_sent += t.logical_bytes();
   // Clone: the receiver owns its copy (wire semantics).
@@ -330,6 +526,10 @@ void Comm::send(int dst, int tag, const Tensor& t) {
 
 Tensor Comm::recv(int src, int tag) {
   MLS_CHECK(valid());
+  // count is unknown until the message lands; the flight recorder
+  // shows a blocked recv as "recv(count=0, ...) [in flight]".
+  OpScope scope(world_->ledger, rank_,
+                {.kind = analysis::OpKind::kRecv, .peer = src, .tag = tag});
   Tensor t = world_->mailbox.recv(src, rank_, tag);
   ++stats_->p2p_recv_count;
   stats_->p2p_bytes_received += t.logical_bytes();
@@ -337,7 +537,7 @@ Tensor Comm::recv(int src, int tag) {
   return t;
 }
 
-CommHandle Comm::launch(std::function<Tensor(Comm&)> op) {
+CommHandle Comm::launch(std::function<Tensor(Comm&)> op, const char* what) {
   MLS_CHECK(valid());
   CommHandle h;
   h.state_ = std::make_shared<CommHandle::State>();
@@ -349,8 +549,18 @@ CommHandle Comm::launch(std::function<Tensor(Comm&)> op) {
   // accounting lands exactly where the blocking call would put it.
   Comm alias(std::shared_ptr<World>(world_.get(), [](World*) {}), rank_);
   alias.stats_ = stats_;
+  alias.handles_ = handles_;
+  // Capture the issuing thread's call-site tag now: when the task runs
+  // on the comm-stream worker, the issuer's SiteGuard is long gone.
+  const char* site = analysis::SiteGuard::current();
+  if (handles_) {
+    handles_->add(state, site ? std::string(what) + " at " + site
+                              : std::string(what));
+  }
   world_->comm_stream(rank_).enqueue(
-      [state, alias, op = std::move(op)]() mutable {
+      [state, alias, site, op = std::move(op)]() mutable {
+        std::optional<analysis::SiteGuard> guard;
+        if (site) guard.emplace(site);
         Tensor result;
         std::exception_ptr err;
         try {
@@ -371,20 +581,24 @@ CommHandle Comm::launch(std::function<Tensor(Comm&)> op) {
 
 CommHandle Comm::iall_reduce(Tensor& t, ReduceOp op) {
   Tensor ref = t;  // shares storage: the in-place update lands in `t`
-  return launch([ref, op](Comm& c) mutable {
-    c.all_reduce(ref, op);
-    return Tensor();
-  });
+  return launch(
+      [ref, op](Comm& c) mutable {
+        c.all_reduce(ref, op);
+        return Tensor();
+      },
+      "iall_reduce");
 }
 
 CommHandle Comm::iall_gather(const Tensor& shard, int dim) {
   Tensor ref = shard;
-  return launch([ref, dim](Comm& c) { return c.all_gather(ref, dim); });
+  return launch([ref, dim](Comm& c) { return c.all_gather(ref, dim); },
+                "iall_gather");
 }
 
 CommHandle Comm::ireduce_scatter(const Tensor& full, int dim) {
   Tensor ref = full;
-  return launch([ref, dim](Comm& c) { return c.reduce_scatter(ref, dim); });
+  return launch([ref, dim](Comm& c) { return c.reduce_scatter(ref, dim); },
+                "ireduce_scatter");
 }
 
 CommHandle Comm::isend(int dst, int tag, const Tensor& t) {
@@ -393,20 +607,30 @@ CommHandle Comm::isend(int dst, int tag, const Tensor& t) {
   // the sent tensor's storage right after the call (Appendix B), so the
   // wire copy must be taken now, not when the task runs.
   Tensor copy = t.clone();
-  return launch([copy, dst, tag](Comm& c) {
-    ++c.stats_->p2p_send_count;
-    c.stats_->p2p_bytes_sent += copy.logical_bytes();
-    c.world_->mailbox.send(c.rank_, dst, tag, copy);
-    return Tensor();
-  });
+  return launch(
+      [copy, dst, tag](Comm& c) {
+        // Bypasses Comm::send (the clone already happened), so record
+        // the kSend event here.
+        OpScope scope(c.world_->ledger, c.rank_,
+                      {.kind = analysis::OpKind::kSend,
+                       .dtype = static_cast<int>(copy.dtype()),
+                       .count = copy.numel(),
+                       .peer = dst,
+                       .tag = tag});
+        ++c.stats_->p2p_send_count;
+        c.stats_->p2p_bytes_sent += copy.logical_bytes();
+        c.world_->mailbox.send(c.rank_, dst, tag, copy);
+        return Tensor();
+      },
+      "isend");
 }
 
 CommHandle Comm::irecv(int src, int tag) {
-  return launch([src, tag](Comm& c) { return c.recv(src, tag); });
+  return launch([src, tag](Comm& c) { return c.recv(src, tag); }, "irecv");
 }
 
-void Comm::poison() {
-  if (world_) world_->poison();
+void Comm::poison(const std::string& reason) {
+  if (world_) world_->poison(reason);
 }
 
 }  // namespace mls::comm

@@ -15,12 +15,15 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "comm/mailbox.h"
 #include "tensor/tensor.h"
 
 namespace mls::comm {
+
+class HandleRegistry;
 
 struct TrafficStats {
   int64_t bytes_received = 0;  // ring-step bytes into this rank
@@ -55,9 +58,15 @@ class CommHandle {
   // iall_gather / ireduce_scatter / irecv; a default tensor for
   // in-place and send operations).
   Tensor result();
+  // Declares that this handle will intentionally never be waited (e.g.
+  // a best-effort send raced with shutdown). Suppresses the analyzer's
+  // leaked-handle diagnostic for it; the operation itself still runs to
+  // completion on the comm stream.
+  void abandon();
 
  private:
   friend class Comm;
+  friend class HandleRegistry;
   struct State;
   std::shared_ptr<State> state_;
 };
@@ -67,8 +76,9 @@ class Comm {
   Comm() = default;
 
   // Creates all rank handles of a fresh communicator. Handle i must be
-  // used only by (one) thread acting as rank i.
-  static std::vector<Comm> create_group(int size);
+  // used only by (one) thread acting as rank i. `name` labels the group
+  // in analyzer diagnostics (split() derives child names from it).
+  static std::vector<Comm> create_group(int size, std::string name = "world");
 
   int rank() const { return rank_; }
   int size() const;
@@ -123,20 +133,26 @@ class Comm {
   const TrafficStats& stats() const { return *stats_; }
 
   // Unblocks every rank of this communicator (and sub-communicators)
-  // with an error; called when a rank fails.
-  void poison();
+  // with an error; called when a rank fails. The reason is embedded in
+  // the error every unblocked rank throws, so the original diagnostic
+  // (a collective-mismatch report, a watchdog dump) survives fan-out.
+  void poison(const std::string& reason = "another rank failed");
 
  private:
   Comm(std::shared_ptr<World> world, int rank);
 
   // Enqueues `op` (applied to a non-owning alias of this rank handle)
   // onto the comm stream and returns its completion handle.
-  CommHandle launch(std::function<Tensor(Comm&)> op);
+  CommHandle launch(std::function<Tensor(Comm&)> op, const char* what);
   void inject_latency(int64_t bytes) const;
 
   std::shared_ptr<World> world_;
   int rank_ = 0;
   std::shared_ptr<TrafficStats> stats_;
+  // Leaked-CommHandle detector (see CommHandle::abandon). Shared across
+  // copies/aliases of this rank handle; the pending-handle audit runs
+  // when the last copy drops. Null when leak checking is off.
+  std::shared_ptr<HandleRegistry> handles_;
 };
 
 }  // namespace mls::comm

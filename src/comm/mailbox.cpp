@@ -19,14 +19,15 @@ Tensor Mailbox::recv(int src, int dst, int tag, std::chrono::seconds timeout) {
   });
   MLS_CHECK(ok) << "mailbox recv timeout (src=" << src << " dst=" << dst
                 << " tag=" << tag << ")";
-  MLS_CHECK(!poisoned_) << "mailbox poisoned (another rank failed)";
+  MLS_CHECK(!poisoned_) << "mailbox poisoned: " << reason_;
   Tensor t = std::move(queues_[key].front());
   queues_[key].pop_front();
   return t;
 }
 
-void Mailbox::poison() {
+void Mailbox::poison(const std::string& reason) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (!poisoned_) reason_ = reason;
   poisoned_ = true;
   cv_.notify_all();
 }

@@ -11,6 +11,7 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <string>
 #include <tuple>
 
 #include "tensor/tensor.h"
@@ -23,7 +24,8 @@ class Mailbox {
   // Blocks; throws Error on poison or timeout.
   Tensor recv(int src, int dst, int tag,
               std::chrono::seconds timeout = std::chrono::seconds(120));
-  void poison();
+  // The first reason wins and is embedded in every waiter's exception.
+  void poison(const std::string& reason = "another rank failed");
 
   // Total bytes enqueued (logical dtype bytes), for traffic assertions.
   int64_t total_bytes() const;
@@ -35,6 +37,7 @@ class Mailbox {
   std::map<Key, std::deque<Tensor>> queues_;
   int64_t total_bytes_ = 0;
   bool poisoned_ = false;
+  std::string reason_;
 };
 
 }  // namespace mls::comm

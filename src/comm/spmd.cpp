@@ -2,6 +2,7 @@
 
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -20,14 +21,25 @@ void run(int world_size, const RankFn& fn) {
   threads.reserve(static_cast<size_t>(world_size));
   for (int r = 0; r < world_size; ++r) {
     threads.emplace_back([&, r] {
+      // Poison with the failing rank's message so the peers it strands
+      // unwind with an error naming the original failure, not just
+      // "another rank failed".
       try {
         fn(comms[static_cast<size_t>(r)]);
+      } catch (const std::exception& e) {
+        {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        comms[static_cast<size_t>(r)].poison("rank " + std::to_string(r) +
+                                             " failed: " + e.what());
       } catch (...) {
         {
           std::lock_guard<std::mutex> lock(err_mu);
           if (!first_error) first_error = std::current_exception();
         }
-        comms[static_cast<size_t>(r)].poison();
+        comms[static_cast<size_t>(r)].poison("rank " + std::to_string(r) +
+                                             " failed");
       }
     });
   }

@@ -3,10 +3,16 @@
 #include <chrono>
 #include <cmath>
 
+#include "analysis/ledger.h"
 #include "autograd/node.h"
 #include "core/env.h"
 #include "runtime/overlap.h"
 #include "tensor/ops.h"
+
+// Every collective below runs under an analysis::SiteGuard so the comm
+// analyzer's mismatch reports and flight-recorder dumps name the
+// paper-level operator (f/f̄, g/ḡ, ...) that issued the op, not just
+// "all_reduce somewhere".
 
 namespace mls::core {
 
@@ -24,12 +30,14 @@ class CopyToTpNode : public Node {
   explicit CopyToTpNode(comm::Comm tp) : tp_(std::move(tp)) {}
   const char* name() const override { return "f(copy_to_tp)"; }
   std::vector<Tensor> backward(const Tensor& grad_out) override {
+    analysis::SiteGuard sg("f(copy_to_tp).bwd");
     Tensor g = grad_out.clone();
     tp_.all_reduce(g);
     return {g};
   }
   bool has_async_backward() const override { return true; }
   void launch_backward(const Tensor& grad_out) override {
+    analysis::SiteGuard sg("f(copy_to_tp).bwd");
     pending_ = grad_out.clone();
     handle_ = tp_.iall_reduce(pending_);
   }
@@ -60,10 +68,12 @@ class GatherFromSpNode : public Node {
   explicit GatherFromSpNode(comm::Comm tp) : tp_(std::move(tp)) {}
   const char* name() const override { return "g(gather_from_sp)"; }
   std::vector<Tensor> backward(const Tensor& grad_out) override {
+    analysis::SiteGuard sg("g(gather_from_sp).bwd");
     return {tp_.reduce_scatter(grad_out, 0)};
   }
   bool has_async_backward() const override { return true; }
   void launch_backward(const Tensor& grad_out) override {
+    analysis::SiteGuard sg("g(gather_from_sp).bwd");
     handle_ = tp_.ireduce_scatter(grad_out, 0);
   }
   std::vector<Tensor> finish_backward(const Tensor&) override {
@@ -82,10 +92,12 @@ class ScatterToSpNode : public Node {
   explicit ScatterToSpNode(comm::Comm tp) : tp_(std::move(tp)) {}
   const char* name() const override { return "ḡ(scatter_to_sp)"; }
   std::vector<Tensor> backward(const Tensor& grad_out) override {
+    analysis::SiteGuard sg("ḡ(scatter_to_sp).bwd");
     return {tp_.all_gather(grad_out, 0)};
   }
   bool has_async_backward() const override { return true; }
   void launch_backward(const Tensor& grad_out) override {
+    analysis::SiteGuard sg("ḡ(scatter_to_sp).bwd");
     handle_ = tp_.iall_gather(grad_out, 0);
   }
   std::vector<Tensor> finish_backward(const Tensor&) override {
@@ -108,18 +120,21 @@ Var copy_to_tensor_parallel(const Var& x, comm::Comm tp) {
 }
 
 Var reduce_from_tensor_parallel(const Var& x, comm::Comm tp) {
+  analysis::SiteGuard sg("f̄(reduce_from_tp).fwd");
   Tensor y = x.value().clone();
   tp.all_reduce(y);
   return make_output(std::move(y), std::make_shared<ReduceFromTpNode>(), {x});
 }
 
 Var gather_from_sequence_parallel(const Var& x, comm::Comm tp) {
+  analysis::SiteGuard sg("g(gather_from_sp).fwd");
   Tensor y = tp.all_gather(x.value(), 0);
   return make_output(std::move(y), std::make_shared<GatherFromSpNode>(std::move(tp)),
                      {x});
 }
 
 Var scatter_to_sequence_parallel(const Var& x, comm::Comm tp) {
+  analysis::SiteGuard sg("ḡ(scatter_to_sp).fwd");
   Tensor y = tp.reduce_scatter(x.value(), 0);
   return make_output(std::move(y), std::make_shared<ScatterToSpNode>(std::move(tp)),
                      {x});
@@ -147,6 +162,7 @@ class SpGatheredMatmulNode : public Node {
     // §4.2.2: "we store only the Y_i^s part ... and perform an extra
     // all-gather in the backward pass", overlapped with the dY·Wᵀ GEMM
     // on real hardware.
+    analysis::SiteGuard sg("sp_gathered_matmul.bwd:regather");
     Tensor x_full =
         sharded_save_ ? tp_.all_gather(saved_x_.get(), 0) : saved_x_.get().clone();
     return finish_math(grad_out, std::move(x_full));
@@ -155,6 +171,7 @@ class SpGatheredMatmulNode : public Node {
   void launch_backward(const Tensor&) override {
     // The backward all-gather of the sharded-saved input is the window
     // the scheduler fills with a checkpoint replay.
+    analysis::SiteGuard sg("sp_gathered_matmul.bwd:regather");
     if (sharded_save_) gather_handle_ = tp_.iall_gather(saved_x_.get(), 0);
   }
   std::vector<Tensor> finish_backward(const Tensor& grad_out) override {
@@ -175,6 +192,7 @@ class SpGatheredMatmulNode : public Node {
  private:
   std::vector<Tensor> finish_math(const Tensor& grad_out, Tensor x_full) {
     // dX (full) = dY · Wᵀ, then ḡ-style reduce-scatter back to shards.
+    analysis::SiteGuard sg("sp_gathered_matmul.bwd:dx");
     Tensor dx_full = ops::matmul(grad_out, saved_w_.get(), false, !trans_b_);
     comm::CommHandle rs;
     Tensor dx_shard;
@@ -215,6 +233,7 @@ class SpGatheredMatmulNode : public Node {
 
 Var sp_gathered_matmul(const Var& x_shard, const Var& w, comm::Comm tp,
                        bool trans_b, bool sharded_save, const std::string& tag) {
+  analysis::SiteGuard sg("sp_gathered_matmul.fwd");
   Tensor x_full = tp.all_gather(x_shard.value(), 0);
   Tensor y = ops::matmul(x_full, w.value(), false, trans_b);
   std::shared_ptr<Node> node;
@@ -245,6 +264,7 @@ class VocabParallelEmbeddingNode : public Node {
     // sequence-sharded; the conjugate of the forward reduce-scatter is
     // an all-gather. Without SP the output was replicated (all-reduce
     // forward), whose conjugate is the identity.
+    analysis::SiteGuard sg("vocab_embedding.bwd");
     Tensor dy_full = sp_ ? tp_.all_gather(grad_out, 0) : grad_out;
     const int64_t h = table_shape_.dim(1);
     Tensor dy2d = dy_full.reshape(Shape{{dy_full.numel() / h, h}});
@@ -293,6 +313,7 @@ Var vocab_parallel_embedding(const Var& table_shard,
   }
 
   Tensor reduced;
+  analysis::SiteGuard sg("vocab_embedding.fwd");
   if (sequence_parallel) {
     reduced = tp.reduce_scatter(out, 0);  // ḡ: [s/t, b, h]
   } else {
@@ -353,6 +374,8 @@ Var vocab_parallel_cross_entropy(const Var& logits_local,
   const int64_t vl = logits_local.value().dim(1);
   MLS_CHECK_EQ(n, static_cast<int64_t>(targets.size()));
   const float* lp = logits_local.value().data();
+  // One guard covers all three all-reduces (max / sum-exp / target).
+  analysis::SiteGuard sg("vocab_ce.fwd");
 
   // 1. Global row max (stable softmax): local max + max-all-reduce.
   Tensor row_max = Tensor::full(Shape{{n}}, -INFINITY, Dtype::F32);

@@ -4,10 +4,27 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "comm/comm.h"
 
 namespace mls::core {
+
+// Process-environment switches (the MLS_* variables, e.g. the comm
+// analyzer's MLS_COMM_VALIDATE / MLS_COMM_WATCHDOG — see
+// src/analysis/ledger.h). Reads go through a programmatic override map
+// first so tests can toggle behaviour without mutating the real
+// environment of a multi-threaded process (setenv is not thread-safe).
+struct Env {
+  // "1/true/on/yes" (any case) -> true; "0/false/off/no" -> false;
+  // unset or unparsable -> def.
+  static bool flag(const char* name, bool def);
+  static int64_t integer(const char* name, int64_t def);
+  static double real(const char* name, double def);
+  // Test-only overrides; shadow getenv until cleared.
+  static void set(const std::string& name, const std::string& value);
+  static void clear(const std::string& name);
+};
 
 // Which activations to recompute (paper §5).
 enum class Recompute {

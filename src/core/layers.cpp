@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "analysis/ledger.h"
 #include "autograd/checkpoint.h"
 
 namespace mls::core {
@@ -176,6 +177,7 @@ std::vector<Var> ParallelMLP::params() const {
 
 void sync_replicated_grads(const std::vector<Var>& params, comm::Comm tp) {
   if (!tp.valid() || tp.size() == 1) return;
+  analysis::SiteGuard sg("sync_replicated_grads");
   for (const Var& p : params) {
     if (!p.has_grad()) continue;
     Tensor g = p.impl()->grad;

@@ -1,5 +1,7 @@
 #include "model/gpt.h"
 
+#include "analysis/ledger.h"
+
 namespace mls::model {
 
 using ag::Var;
@@ -127,6 +129,7 @@ Tensor GPTModel::next_token_logits(const std::vector<int64_t>& tokens,
   const int64_t vl = cfg_.v / env_.tp_size();
   Tensor local = row.reshape(Shape{{vl}});
   comm::Comm tp = env_.tp;  // cheap handle copy; collectives mutate stats
+  analysis::SiteGuard sg("gpt.gather_logits");
   return tp.valid() && tp.size() > 1 ? tp.all_gather(local, 0) : local;
 }
 

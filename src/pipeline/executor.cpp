@@ -1,5 +1,6 @@
 #include "pipeline/executor.h"
 
+#include "analysis/ledger.h"
 #include "autograd/engine.h"
 #include "common/memtracker.h"
 #include "memory/activation_model.h"
@@ -17,6 +18,7 @@ PipelineEngine::PipelineEngine(const model::ModelConfig& cfg, comm::Comm& world,
       << "world must be tp x pp x dp";
   // Megatron grid order (tp fastest, then pp, then dp):
   //   world rank = dp_rank * (p*t) + pp_rank * t + tp_rank.
+  analysis::SiteGuard sg("pipeline.grid_split");
   const int grid = cfg_.t * cfg_.p;
   tp_ = world.split(world.rank() / cfg_.t);
   pp_ = world.split((1 << 20) |
@@ -90,7 +92,8 @@ IterationStats PipelineEngine::run_iteration(
   // out as isend (their handles drain before the final syncs).
   runtime::OverlapGuard overlap_guard(opts_.overlap_recompute);
   std::vector<comm::CommHandle> pending_sends;
-  auto boundary_send = [&](int dst, int tag, const Tensor& t) {
+  auto boundary_send = [&](const char* site, int dst, int tag, const Tensor& t) {
+    analysis::SiteGuard sg(site);
     if (opts_.overlap_recompute) {
       pending_sends.push_back(pp_.isend(dst, tag, t));
     } else {
@@ -132,7 +135,11 @@ IterationStats PipelineEngine::run_iteration(
         x = model.embed(tokens[static_cast<size_t>(global_mb)]);
         st.output = model.transformer_forward(x);
       } else {
-        Tensor in = pp_.recv(rank_of_stage(v - 1), fwd_tag(v, op.microbatch));
+        Tensor in;
+        {
+          analysis::SiteGuard rsg("pp.fwd_recv");
+          in = pp_.recv(rank_of_stage(v - 1), fwd_tag(v, op.microbatch));
+        }
         x = Var(std::move(in), /*requires_grad=*/true);
         st.input = x;
         st.output = model.transformer_forward(x);
@@ -143,8 +150,8 @@ IterationStats PipelineEngine::run_iteration(
         loss_sum += loss.item();
         st.output = loss;
       } else {
-        boundary_send(rank_of_stage(v + 1), fwd_tag(v + 1, op.microbatch),
-                      st.output.value());
+        boundary_send("pp.fwd_send", rank_of_stage(v + 1),
+                      fwd_tag(v + 1, op.microbatch), st.output.value());
         if (opts_.deallocate_outputs) {
           // Appendix B: the output's data is redundant with the next
           // stage's input from here on (isend clones eagerly, so the
@@ -166,12 +173,16 @@ IterationStats PipelineEngine::run_iteration(
         // Mean loss over microbatches: dL/dloss_mb = 1/n.
         ag::backward(st.output, Tensor::scalar(1.0f / static_cast<float>(n)));
       } else {
-        Tensor dy = pp_.recv(rank_of_stage(v + 1), bwd_tag(v + 1, op.microbatch));
+        Tensor dy;
+        {
+          analysis::SiteGuard rsg("pp.bwd_recv");
+          dy = pp_.recv(rank_of_stage(v + 1), bwd_tag(v + 1, op.microbatch));
+        }
         ag::backward(st.output, dy);
       }
       if (v > 0) {
-        boundary_send(rank_of_stage(v - 1), bwd_tag(v, op.microbatch),
-                      st.input.grad());
+        boundary_send("pp.bwd_send", rank_of_stage(v - 1),
+                      bwd_tag(v, op.microbatch), st.input.grad());
       }
       if (st.extra_output_bytes > 0) mt.on_free_extra(st.extra_output_bytes);
     }
@@ -185,6 +196,7 @@ IterationStats PipelineEngine::run_iteration(
   sync_tied_word_embeddings();
   for (auto& c : chunks_) c->sync_grads_after_backward();
   if (cfg_.d > 1) {
+    analysis::SiteGuard sg("dp.grad_all_reduce");
     const float inv_d = 1.0f / static_cast<float>(cfg_.d);
     for (auto& p : params()) {
       if (!p.has_grad()) continue;
@@ -197,8 +209,12 @@ IterationStats PipelineEngine::run_iteration(
   // Broadcast the mean loss from the last pipeline rank to all, then
   // average across data-parallel replicas.
   Tensor loss_t = Tensor::scalar(static_cast<float>(loss_sum / n));
-  pp_.broadcast(loss_t, rank_of_stage(last_stage_));
+  {
+    analysis::SiteGuard sg("pp.loss_broadcast");
+    pp_.broadcast(loss_t, rank_of_stage(last_stage_));
+  }
   if (cfg_.d > 1) {
+    analysis::SiteGuard sg("dp.loss_all_reduce");
     dp_.all_reduce(loss_t);
     loss_t.mul_(1.0f / static_cast<float>(cfg_.d));
   }
@@ -212,6 +228,7 @@ void PipelineEngine::sync_tied_word_embeddings() {
   // embedding) and the last (output projection); when those live in
   // different GPTModel instances their gradient contributions must be
   // summed so the two copies stay identical after the optimizer step.
+  analysis::SiteGuard sg("pp.tied_embed_sync");
   const bool has_first = pp_.rank() == rank_of_stage(0) && chunks_.size() >= 1 &&
                          chunks_.front()->spec().has_embedding;
   const int last_rank = rank_of_stage(last_stage_);

@@ -2,6 +2,12 @@
 
 namespace mls::runtime {
 
+namespace {
+thread_local bool t_on_worker = false;
+}  // namespace
+
+bool Stream::on_worker_thread() { return t_on_worker; }
+
 bool Event::ready() const {
   if (!state_) return true;  // an unrecorded event is trivially complete
   std::lock_guard<std::mutex> lock(state_->mu);
@@ -65,6 +71,7 @@ int64_t Stream::tasks_executed() const {
 }
 
 void Stream::worker_loop() {
+  t_on_worker = true;
   for (;;) {
     std::function<void()> task;
     {

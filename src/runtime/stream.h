@@ -70,6 +70,12 @@ class Stream {
   // Tasks fully executed so far (diagnostics / tests).
   int64_t tasks_executed() const;
 
+  // True when the calling thread is some Stream's worker — i.e. the
+  // current code was enqueued rather than called directly. The comm
+  // analyzer uses this to mark ledger records as nonblocking: an op
+  // that executes on a comm stream came through the i* API.
+  static bool on_worker_thread();
+
  private:
   void worker_loop();
 

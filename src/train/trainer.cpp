@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "analysis/ledger.h"
 #include "serialize/checkpoint_io.h"
 
 namespace mls::train {
@@ -78,6 +79,7 @@ float Trainer::clip_gradients() {
     }
   }
   Tensor sq = Tensor::scalar(static_cast<float>(local_sq));
+  analysis::SiteGuard sg("trainer.grad_norm");
   world_.all_reduce(sq);
   // Every parameter exists on each of the d data-parallel replicas (with
   // identical post-all-reduce grads), so the world sum counts it d times.
