@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Custom greppable lint checks for hazards clang-tidy does not model in
 # this codebase (thread-per-rank simulator; see DESIGN.md "Analysis
-# layer"). Three checks, all heuristic but zero-noise on this repo:
+# layer"). Four checks, all heuristic but zero-noise on this repo:
 #
 #   raw-lock         — a bare `foo_mu.lock()` on a mutex-named variable.
 #                      Locks must be held through std::lock_guard /
@@ -19,11 +19,20 @@
 #                      swallow errors from the async op (the runtime
 #                      leak audit catches this dynamically; this is the
 #                      static side).
+#   raw-storage      — tensor-scale float buffers allocated outside the
+#                      pool: `new float[...]` anywhere, or
+#                      `std::vector<float>` inside src/ outside
+#                      src/tensor + src/memory. All bulk float storage
+#                      must come from Storage (the per-rank caching
+#                      arena) so the pool's stats and high-water marks
+#                      see every buffer. Tests/bench/examples may use
+#                      vector<float> freely for host-side lists.
 #
 # Suppress a deliberate instance with a comment on the offending line:
 #   // lint:allow(raw-lock)
 #   // lint:allow(comm-under-lock)
 #   // lint:allow(unwaited-handle)
+#   // lint:allow(raw-storage)
 #
 # Exits nonzero if any check fires. Pure bash+grep+awk: runs on the
 # minimal container image, no clang tooling needed.
@@ -133,6 +142,32 @@ if [ -n "$unwaited" ]; then
   echo "      from the async op are lost; suppress with"
   echo "      // lint:allow(unwaited-handle)):"
   echo "$unwaited"
+  status=1
+fi
+
+# --------------------------------------------------------- raw-storage
+# Bulk float storage must come from the pool (tensor/storage.h). Comment
+# text and string literals are stripped before matching.
+raw_storage=$(awk '
+  {
+    line = $0
+    suppressed = (line ~ /lint:allow\(raw-storage\)/)
+    sub(/\/\/.*/, "", line)
+    gsub(/"([^"\\]|\\.)*"/, "\"\"", line)
+    hit = 0
+    if (line ~ /(^|[^A-Za-z0-9_])new[ \t]+float[ \t]*\[/) hit = 1
+    if (FILENAME ~ /^src\// && FILENAME !~ /^src\/(tensor|memory)\// \
+        && line ~ /std::vector[ \t]*<[ \t]*float[ \t]*>/) hit = 1
+    if (hit && !suppressed)
+      printf "  %s:%d: raw float buffer bypasses the pool allocator\n", \
+             FILENAME, FNR
+  }
+' $FILES)
+if [ -n "$raw_storage" ]; then
+  echo "lint: raw float storage outside src/tensor + src/memory (allocate"
+  echo "      through Tensor/Storage so the arena accounts for it;"
+  echo "      suppress with // lint:allow(raw-storage)):"
+  echo "$raw_storage"
   status=1
 fi
 

@@ -18,6 +18,7 @@
 #include "analysis/watchdog.h"
 #include "comm/barrier.h"
 #include "common/check.h"
+#include "memory/pool_allocator.h"
 #include "runtime/stream.h"
 #include "tensor/ops.h"
 
@@ -557,8 +558,18 @@ CommHandle Comm::launch(std::function<Tensor(Comm&)> op, const char* what) {
     handles_->add(state, site ? std::string(what) + " at " + site
                               : std::string(what));
   }
+  // The task's staging buffers (all-gather/reduce-scatter scratch,
+  // recv payloads) belong to the launching rank, not to the comm
+  // worker: capture the rank's arena and install it around the op, so
+  // allocation and accounting land where the blocking call would put
+  // them. Frees of rank-owned buffers from the worker go through the
+  // arena's cross-thread free queue.
+  std::shared_ptr<memory::PoolAllocator> arena =
+      memory::PoolAllocator::current();
   world_->comm_stream(rank_).enqueue(
-      [state, alias, site, op = std::move(op)]() mutable {
+      [state, alias, site, arena = std::move(arena),
+       op = std::move(op)]() mutable {
+        memory::ArenaGuard arena_guard(std::move(arena));
         std::optional<analysis::SiteGuard> guard;
         if (site) guard.emplace(site);
         Tensor result;

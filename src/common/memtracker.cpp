@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "memory/pool_allocator.h"
+
 namespace mls {
 
 MemoryTracker& MemoryTracker::instance() {
@@ -31,6 +33,33 @@ void MemoryTracker::on_alloc_extra(int64_t bytes) {
 }
 
 void MemoryTracker::on_free_extra(int64_t bytes) { extra_ -= bytes; }
+
+// The physical axis delegates to the rank's arena: tracker and arena
+// are both thread_local, so they describe the same simulated GPU.
+int64_t MemoryTracker::physical_bytes() const {
+  return memory::PoolAllocator::this_thread()->stats().physical_bytes;
+}
+
+int64_t MemoryTracker::physical_peak_bytes() const {
+  return memory::PoolAllocator::this_thread()->stats().physical_peak;
+}
+
+int64_t MemoryTracker::pooled_in_use_bytes() const {
+  return memory::PoolAllocator::this_thread()->stats().bytes_in_use;
+}
+
+int64_t MemoryTracker::pooled_in_use_peak_bytes() const {
+  return memory::PoolAllocator::this_thread()->stats().in_use_peak;
+}
+
+void MemoryTracker::reset_physical_peak() {
+  memory::PoolAllocator::this_thread()->reset_physical_peak();
+}
+
+std::string MemoryTracker::allocator_report() const {
+  auto& arena = memory::PoolAllocator::this_thread();
+  return arena->stats().report(arena->name());
+}
 
 void MemoryTracker::update_peak() {
   peak_ = std::max(peak_, current_major_ + current_minor_ + extra_);

@@ -46,6 +46,24 @@ class MemoryTracker {
   int64_t peak_bytes() const { return peak_; }
   int64_t extra_bytes() const { return extra_; }
 
+  // Physical axis: bytes this rank's pool arena actually holds from
+  // the system (fp32 simulation storage, params and transients
+  // included), next to the logical axis above (the paper's fp16/mask
+  // accounting of saved activations). Benches print formula vs.
+  // tracked-logical vs. pooled-physical side by side.
+  int64_t physical_bytes() const;
+  int64_t physical_peak_bytes() const;
+  // Live pooled-buffer demand and its high-water mark. Unlike the
+  // segment-level physical axis, this still moves when every request is
+  // served from cache, so it isolates one phase's transient demand.
+  int64_t pooled_in_use_bytes() const;
+  int64_t pooled_in_use_peak_bytes() const;
+  // Re-arms the physical high-water mark at the current level so one
+  // phase (e.g. a single forward+backward) can be measured alone.
+  void reset_physical_peak();
+  // The arena's full stats/fragmentation report (diagnostics).
+  std::string allocator_report() const;
+
   // Per-tag live bytes (major + minor), for breakdown tables.
   const std::map<std::string, int64_t>& by_tag() const { return by_tag_; }
 

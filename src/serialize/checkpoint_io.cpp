@@ -1,7 +1,9 @@
 #include "serialize/checkpoint_io.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 
 #include "common/check.h"
 
@@ -10,6 +12,15 @@ namespace mls::serialize {
 namespace {
 
 constexpr char kMagic[8] = {'M', 'L', 'S', 'C', 'K', 'P', 'T', '1'};
+
+// Shard payloads stream between the tensor's (pooled) storage and the
+// file in bounded chunks through this plain staging buffer — the pinned
+// host bounce buffer of a real GPU checkpoint path. Two properties the
+// allocator relies on: no intermediate std::vector<float> copy of the
+// whole shard is ever materialized, and the bytes handed to blocking
+// fread/fwrite calls are never pool-owned (a pooled buffer parked on
+// file I/O would sit in the arena's high-water mark for the duration).
+constexpr size_t kIoChunkBytes = 1 << 20;
 
 class File {
  public:
@@ -39,8 +50,36 @@ class File {
     return v;
   }
 
+  // Chunked payload I/O via the staging buffer (lazily created once
+  // per File, reused across tensors).
+  void write_staged(const float* src, size_t bytes) {
+    ensure_staging();
+    while (bytes > 0) {
+      const size_t n = std::min(bytes, kIoChunkBytes);
+      std::memcpy(staging_.get(), src, n);
+      write(staging_.get(), n);
+      src += n / sizeof(float);
+      bytes -= n;
+    }
+  }
+  void read_staged(float* dst, size_t bytes) {
+    ensure_staging();
+    while (bytes > 0) {
+      const size_t n = std::min(bytes, kIoChunkBytes);
+      read(staging_.get(), n);
+      std::memcpy(dst, staging_.get(), n);
+      dst += n / sizeof(float);
+      bytes -= n;
+    }
+  }
+
  private:
+  void ensure_staging() {
+    if (!staging_) staging_ = std::make_unique<char[]>(kIoChunkBytes);
+  }
+
   std::FILE* f_;
+  std::unique_ptr<char[]> staging_;
 };
 
 }  // namespace
@@ -56,7 +95,7 @@ void save_tensors(const std::string& path, const NamedTensors& items) {
     f.write_pod<uint8_t>(static_cast<uint8_t>(t.dtype()));
     f.write_pod<uint32_t>(static_cast<uint32_t>(t.ndim()));
     for (int i = 0; i < t.ndim(); ++i) f.write_pod<int64_t>(t.dim(i));
-    f.write(t.data(), sizeof(float) * static_cast<size_t>(t.numel()));
+    f.write_staged(t.data(), sizeof(float) * static_cast<size_t>(t.numel()));
   }
 }
 
@@ -79,8 +118,11 @@ NamedTensors load_tensors(const std::string& path) {
     MLS_CHECK_LE(ndim, 8u) << "corrupt checkpoint";
     std::vector<int64_t> dims(ndim);
     for (auto& d : dims) d = f.read_pod<int64_t>();
+    // The destination tensor is allocated only once its own payload is
+    // next in the stream, and filled directly — no whole-shard
+    // intermediate copy.
     Tensor t = Tensor::empty(Shape(dims), dtype);
-    f.read(t.data(), sizeof(float) * static_cast<size_t>(t.numel()));
+    f.read_staged(t.data(), sizeof(float) * static_cast<size_t>(t.numel()));
     items.emplace_back(std::move(name), std::move(t));
   }
   return items;

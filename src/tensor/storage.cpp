@@ -1,0 +1,24 @@
+#include "tensor/storage.h"
+
+#include "common/check.h"
+#include "memory/pool_allocator.h"
+
+namespace mls {
+
+Storage::Storage(float* data, int64_t bytes,
+                 std::shared_ptr<memory::PoolAllocator> arena)
+    : data_(data), bytes_(bytes), arena_(std::move(arena)) {}
+
+Storage::~Storage() {
+  if (arena_) arena_->deallocate(data_);
+}
+
+std::shared_ptr<Storage> Storage::allocate(int64_t numel) {
+  MLS_CHECK_GE(numel, 0);
+  const int64_t bytes = numel * static_cast<int64_t>(sizeof(float));
+  auto arena = memory::PoolAllocator::current();
+  float* p = arena->allocate(bytes);
+  return std::shared_ptr<Storage>(new Storage(p, bytes, std::move(arena)));
+}
+
+}  // namespace mls

@@ -10,14 +10,16 @@ Tensor Tensor::empty(Shape shape, Dtype dtype) {
   Tensor t;
   t.shape_ = std::move(shape);
   t.dtype_ = dtype;
-  t.storage_ = std::make_shared<std::vector<float>>(
-      static_cast<size_t>(t.shape_.numel()));
+  // Uninitialized pooled storage: no memset, and in the steady state no
+  // system allocation either (the pool recycles freed buffers).
+  t.storage_ = Storage::allocate(t.shape_.numel());
   return t;
 }
 
 Tensor Tensor::zeros(Shape shape, Dtype dtype) {
-  // vector value-initializes to 0.
-  return empty(std::move(shape), dtype);
+  Tensor t = empty(std::move(shape), dtype);
+  std::memset(t.data(), 0, sizeof(float) * static_cast<size_t>(t.numel()));
+  return t;
 }
 
 Tensor Tensor::full(Shape shape, float value, Dtype dtype) {
@@ -34,10 +36,10 @@ Tensor Tensor::randn(Shape shape, Rng& rng, float stddev, Dtype dtype) {
 
 Tensor Tensor::from_data(Shape shape, std::vector<float> data, Dtype dtype) {
   MLS_CHECK_EQ(shape.numel(), static_cast<int64_t>(data.size()));
-  Tensor t;
-  t.shape_ = std::move(shape);
-  t.dtype_ = dtype;
-  t.storage_ = std::make_shared<std::vector<float>>(std::move(data));
+  Tensor t = empty(std::move(shape), dtype);
+  if (!data.empty()) {
+    std::memcpy(t.data(), data.data(), sizeof(float) * data.size());
+  }
   return t;
 }
 

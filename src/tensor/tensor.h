@@ -2,13 +2,17 @@
 // shape and a logical dtype (see dtype.h).
 //
 // Design notes:
-//  * Storage is always float32; the logical dtype only affects byte
-//    accounting (logical_bytes()).
+//  * Storage is always float32 (see tensor/storage.h: pooled,
+//    uninitialized buffers from the per-rank caching allocator); the
+//    logical dtype only affects byte accounting (logical_bytes()).
+//  * empty() returns UNINITIALIZED storage — use zeros() when the
+//    initial contents matter.
 //  * Copying a Tensor is cheap (shared storage). clone() deep-copies.
 //  * release() drops the storage while keeping shape/dtype metadata —
 //    this implements the paper's Appendix B "output tensor
 //    deallocation" optimization, where a pipeline stage frees the data
-//    of its output after sending it downstream.
+//    of its output after sending it downstream. The bytes go straight
+//    back to the rank's pool for reuse.
 #pragma once
 
 #include <memory>
@@ -19,6 +23,7 @@
 #include "common/rng.h"
 #include "common/shape.h"
 #include "tensor/dtype.h"
+#include "tensor/storage.h"
 
 namespace mls {
 
@@ -27,6 +32,8 @@ class Tensor {
   Tensor() = default;
 
   // Factories -------------------------------------------------------
+  // empty() returns uninitialized pooled storage; every element must
+  // be written before it is read. zeros() actually clears.
   static Tensor empty(Shape shape, Dtype dtype = Dtype::F16);
   static Tensor zeros(Shape shape, Dtype dtype = Dtype::F16);
   static Tensor full(Shape shape, float value, Dtype dtype = Dtype::F16);
@@ -86,7 +93,7 @@ class Tensor {
   std::string str() const;  // short description for diagnostics
 
  private:
-  std::shared_ptr<std::vector<float>> storage_;
+  std::shared_ptr<Storage> storage_;
   Shape shape_;
   Dtype dtype_ = Dtype::F16;
 };
