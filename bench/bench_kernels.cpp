@@ -1,14 +1,284 @@
-// google-benchmark microbenchmarks of the numeric kernels underlying
-// the simulator — useful for spotting regressions in the CPU substrate
-// that would distort the runnable examples.
+// Microbenchmarks of the numeric kernels underlying the simulator —
+// the blocked GEMM substrate (tensor/kernels.h), its fused epilogues,
+// and the specialized attention-layout transposes.
+//
+// Three modes:
+//   bench_kernels              google-benchmark suite (as before)
+//   bench_kernels --smoke      fast correctness-only checks, exit 0/1
+//                              (run in CI; no timing thresholds)
+//   bench_kernels --json[=p]   min-of-N wall-clock kernel timings
+//                              written to p (default BENCH_kernels.json):
+//                              pre-PR scalar vs blocked GFLOP/s, thread
+//                              scaling, fused-vs-composed sweeps.
+//
+// The "before" datum is a verbatim replica of the seed scalar GEMM
+// (below), compiled with this file's default flags — the same flags
+// the pre-PR ops.cpp kernel was built with, so the comparison is
+// honest even though the substrate now compiles with its own codegen
+// options.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "common/rng.h"
+#include "core/env.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 
 using namespace mls;
 
 namespace {
+
+// ------------------------------------------------ pre-PR scalar GEMM
+// Seed kernel (ops.cpp before the blocked substrate), kept verbatim —
+// including the data-dependent zero-skip the substrate removed — as
+// the speedup baseline.
+void gemm_prepr(const float* a, const float* b, float* c, int64_t m, int64_t n,
+                int64_t k, bool trans_a, bool trans_b) {
+  auto A = [&](int64_t i, int64_t kk) {
+    return trans_a ? a[kk * m + i] : a[i * k + kk];
+  };
+  if (!trans_b) {
+    for (int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * n;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = A(i, kk);
+        if (av == 0.0f) continue;
+        const float* brow = b + kk * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else {
+    for (int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        double acc = 0.0;
+        for (int64_t kk = 0; kk < k; ++kk) acc += A(i, kk) * brow[kk];
+        crow[j] += static_cast<float>(acc);
+      }
+    }
+  }
+}
+
+std::vector<float> random_vec(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t = Tensor::randn(Shape{{n}}, rng);
+  std::vector<float> v(static_cast<size_t>(n));
+  std::memcpy(v.data(), t.data(), sizeof(float) * static_cast<size_t>(n));
+  return v;
+}
+
+// Best-of-reps wall-clock seconds for fn().
+template <typename F>
+double min_time(F&& fn, int reps) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+// ----------------------------------------------------------- --smoke
+// Correctness-only checks cheap enough for CI: the blocked kernel vs
+// the scalar reference, thread-count bit identity, and the fused
+// epilogues vs their composed forms. No timing thresholds (CI machines
+// are noisy); the perf numbers come from --json runs.
+int run_smoke() {
+  int failures = 0;
+  auto check = [&](bool ok, const char* what) {
+    std::printf("smoke: %-44s %s\n", what, ok ? "ok" : "FAIL");
+    if (!ok) ++failures;
+  };
+
+  {  // blocked vs reference, tile-straddling shape, all trans variants
+    const int64_t m = 67, n = 50, k = 33;
+    const std::vector<float> a = random_vec(m * k, 1);
+    const std::vector<float> b = random_vec(k * n, 2);
+    bool ok = true;
+    for (int ta = 0; ta < 2 && ok; ++ta) {
+      for (int tb = 0; tb < 2 && ok; ++tb) {
+        std::vector<float> c_ref(static_cast<size_t>(m * n), 0.f);
+        std::vector<float> c_blk(static_cast<size_t>(m * n), 0.f);
+        kernels::gemm_ref(a.data(), b.data(), c_ref.data(), m, n, k, ta, tb);
+        kernels::gemm(a.data(), b.data(), c_blk.data(), m, n, k, ta, tb);
+        for (int64_t i = 0; i < m * n && ok; ++i) {
+          ok = std::fabs(c_ref[static_cast<size_t>(i)] -
+                         c_blk[static_cast<size_t>(i)]) < 2e-3f;
+        }
+      }
+    }
+    check(ok, "blocked GEMM matches reference");
+  }
+
+  {  // 1-vs-4-thread bit identity above the parallel grain
+    const int64_t m = 130, n = 97, k = 256;
+    const std::vector<float> a = random_vec(m * k, 3);
+    const std::vector<float> b = random_vec(k * n, 4);
+    std::vector<float> c1(static_cast<size_t>(m * n));
+    std::vector<float> c4(static_cast<size_t>(m * n));
+    kernels::gemm(a.data(), b.data(), c1.data(), m, n, k, false, false);
+    core::Env::set("MLS_KERNEL_THREADS", "4");
+    kernels::gemm(a.data(), b.data(), c4.data(), m, n, k, false, false);
+    core::Env::clear("MLS_KERNEL_THREADS");
+    check(std::memcmp(c1.data(), c4.data(), sizeof(float) * c1.size()) == 0,
+          "1-vs-4-thread GEMM bit-identical");
+  }
+
+  {  // fused bias+GeLU vs composed
+    Rng rng(5);
+    Tensor x = Tensor::randn(Shape{{33, 48}}, rng);
+    Tensor bias = Tensor::randn(Shape{{48}}, rng, 0.5f);
+    Tensor fused = ops::bias_gelu(x, bias);
+    Tensor composed = ops::gelu(ops::add_bias(x, bias));
+    check(fused.allclose(composed, 1e-5f, 1e-6f),
+          "fused bias+GeLU matches composed");
+  }
+
+  {  // fused scale+softmax vs composed (causal)
+    Rng rng(6);
+    Tensor x = Tensor::randn(Shape{{4, 19, 19}}, rng);
+    Tensor fused = ops::scaled_softmax(x, 0.31f, /*causal=*/true);
+    Tensor composed = ops::softmax_lastdim(ops::scale(x, 0.31f), true);
+    check(fused.allclose(composed, 1e-5f, 1e-6f),
+          "fused scale+softmax matches composed");
+  }
+
+  {  // layout fast paths invert each other
+    Rng rng(7);
+    Tensor x = Tensor::randn(Shape{{12, 3, 32}}, rng);
+    Tensor round = ops::bhsd_to_sbh(ops::sbh_to_bhsd(x, 4), 4);
+    check(std::memcmp(round.data(), x.data(),
+                      sizeof(float) * static_cast<size_t>(x.numel())) == 0,
+          "sbh<->bhsd round trip bit-exact");
+  }
+
+  std::printf("smoke: %s\n", failures == 0 ? "all checks passed" : "FAILED");
+  return failures == 0 ? 0 : 1;
+}
+
+// ------------------------------------------------------------ --json
+// Hand-rolled timings (google-benchmark's own JSON reports per-bench
+// wall time; here we want paired before/after GFLOP/s and thread
+// scaling in one document).
+int run_json(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_kernels: cannot write %s\n", path.c_str());
+    return 1;
+  }
+
+  std::fprintf(f, "{\n  \"gemm\": [\n");
+  double prepr512 = 0, blocked512 = 0;
+  for (int64_t n : {int64_t{128}, int64_t{256}, int64_t{512}}) {
+    const std::vector<float> a = random_vec(n * n, 10 + n);
+    const std::vector<float> b = random_vec(n * n, 20 + n);
+    std::vector<float> c(static_cast<size_t>(n * n), 0.f);
+    const double flops = 2.0 * n * n * n;
+    const int reps = n <= 256 ? 7 : 5;
+    // The pre-PR kernel is beta!=0 (accumulates into C); zero first so
+    // both do the same logical work.
+    const double t_pre = min_time(
+        [&] {
+          std::memset(c.data(), 0, sizeof(float) * c.size());
+          gemm_prepr(a.data(), b.data(), c.data(), n, n, n, false, false);
+        },
+        reps);
+    const double t_ref = min_time(
+        [&] {
+          kernels::gemm_ref(a.data(), b.data(), c.data(), n, n, n, false,
+                            false);
+        },
+        reps);
+    const double t_blk = min_time(
+        [&] {
+          kernels::gemm(a.data(), b.data(), c.data(), n, n, n, false, false);
+        },
+        reps);
+    const double g_pre = flops / t_pre / 1e9;
+    const double g_ref = flops / t_ref / 1e9;
+    const double g_blk = flops / t_blk / 1e9;
+    if (n == 512) {
+      prepr512 = g_pre;
+      blocked512 = g_blk;
+    }
+    std::fprintf(f,
+                 "    {\"n\": %lld, \"prepr_scalar_gflops\": %.2f, "
+                 "\"gemm_ref_gflops\": %.2f, \"blocked_gflops\": %.2f, "
+                 "\"speedup_vs_prepr\": %.2f}%s\n",
+                 static_cast<long long>(n), g_pre, g_ref, g_blk, g_blk / g_pre,
+                 n == 512 ? "" : ",");
+    std::printf(
+        "gemm n=%lld: prepr %.2f | ref %.2f | blocked %.2f GFLOP/s "
+        "(%.1fx vs prepr)\n",
+        static_cast<long long>(n), g_pre, g_ref, g_blk, g_blk / g_pre);
+  }
+  std::fprintf(f, "  ],\n  \"thread_scaling\": [\n");
+  {
+    const int64_t n = 512;
+    const std::vector<float> a = random_vec(n * n, 30);
+    const std::vector<float> b = random_vec(n * n, 31);
+    std::vector<float> c(static_cast<size_t>(n * n));
+    const double flops = 2.0 * n * n * n;
+    for (int nt : {1, 2, 4}) {
+      core::Env::set("MLS_KERNEL_THREADS", std::to_string(nt));
+      const double t = min_time(
+          [&] {
+            kernels::gemm(a.data(), b.data(), c.data(), n, n, n, false, false);
+          },
+          5);
+      core::Env::clear("MLS_KERNEL_THREADS");
+      std::fprintf(f, "    {\"threads\": %d, \"gflops\": %.2f}%s\n", nt,
+                   flops / t / 1e9, nt == 4 ? "" : ",");
+      std::printf("gemm n=512 threads=%d: %.2f GFLOP/s\n", nt,
+                  flops / t / 1e9);
+    }
+  }
+  std::fprintf(f, "  ],\n  \"fused\": [\n");
+  {
+    Rng rng(40);
+    Tensor x = Tensor::randn(Shape{{512, 1024}}, rng);
+    Tensor bias = Tensor::randn(Shape{{1024}}, rng, 0.5f);
+    const double t_f = min_time([&] { ops::bias_gelu(x, bias); }, 7);
+    const double t_c = min_time([&] { ops::gelu(ops::add_bias(x, bias)); }, 7);
+    std::fprintf(f,
+                 "    {\"op\": \"bias_gelu\", \"fused_ms\": %.3f, "
+                 "\"composed_ms\": %.3f, \"speedup\": %.2f},\n",
+                 t_f * 1e3, t_c * 1e3, t_c / t_f);
+    std::printf("bias_gelu: fused %.3f ms vs composed %.3f ms (%.2fx)\n",
+                t_f * 1e3, t_c * 1e3, t_c / t_f);
+  }
+  {
+    Rng rng(41);
+    Tensor x = Tensor::randn(Shape{{16, 256, 256}}, rng);
+    const double t_f =
+        min_time([&] { ops::scaled_softmax(x, 0.125f, true); }, 7);
+    const double t_c = min_time(
+        [&] { ops::softmax_lastdim(ops::scale(x, 0.125f), true); }, 7);
+    std::fprintf(f,
+                 "    {\"op\": \"scaled_softmax\", \"fused_ms\": %.3f, "
+                 "\"composed_ms\": %.3f, \"speedup\": %.2f}\n",
+                 t_f * 1e3, t_c * 1e3, t_c / t_f);
+    std::printf("scaled_softmax: fused %.3f ms vs composed %.3f ms (%.2fx)\n",
+                t_f * 1e3, t_c * 1e3, t_c / t_f);
+  }
+  std::fprintf(f, "  ],\n  \"speedup_n512_vs_prepr\": %.2f\n}\n",
+               blocked512 / prepr512);
+  std::fclose(f);
+  std::printf("wrote %s (n=512 speedup vs pre-PR scalar: %.1fx)\n",
+              path.c_str(), blocked512 / prepr512);
+  return 0;
+}
+
+// --------------------------------------- google-benchmark registrations
 
 void BM_Matmul(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -17,6 +287,20 @@ void BM_Matmul(benchmark::State& state) {
   Tensor b = Tensor::randn(Shape{{n, n}}, rng);
   for (auto _ : state) {
     Tensor c = ops::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 * n * n * n);
+}
+
+// The seed scalar GEMM, for A/B comparison against BM_Matmul.
+void BM_MatmulPrePR(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const std::vector<float> a = random_vec(n * n, 1);
+  const std::vector<float> b = random_vec(n * n, 2);
+  std::vector<float> c(static_cast<size_t>(n * n));
+  for (auto _ : state) {
+    std::memset(c.data(), 0, sizeof(float) * c.size());
+    gemm_prepr(a.data(), b.data(), c.data(), n, n, n, false, false);
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 * n * n * n);
@@ -43,6 +327,75 @@ void BM_SoftmaxCausal(benchmark::State& state) {
     benchmark::DoNotOptimize(y.data());
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 8 * s * s);
+}
+
+void BM_ScaledSoftmaxFused(benchmark::State& state) {
+  const int64_t s = state.range(0);
+  Rng rng(3);
+  Tensor x = Tensor::randn(Shape{{8, s, s}}, rng);
+  for (auto _ : state) {
+    Tensor y = ops::scaled_softmax(x, 0.125f, true);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 8 * s * s);
+}
+
+void BM_ScaledSoftmaxComposed(benchmark::State& state) {
+  const int64_t s = state.range(0);
+  Rng rng(3);
+  Tensor x = Tensor::randn(Shape{{8, s, s}}, rng);
+  for (auto _ : state) {
+    Tensor y = ops::softmax_lastdim(ops::scale(x, 0.125f), true);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 8 * s * s);
+}
+
+void BM_BiasGeluFused(benchmark::State& state) {
+  const int64_t h = state.range(0);
+  Rng rng(4);
+  Tensor x = Tensor::randn(Shape{{256, h}}, rng);
+  Tensor bias = Tensor::randn(Shape{{h}}, rng, 0.5f);
+  for (auto _ : state) {
+    Tensor y = ops::bias_gelu(x, bias);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 256 * h);
+}
+
+void BM_BiasGeluComposed(benchmark::State& state) {
+  const int64_t h = state.range(0);
+  Rng rng(4);
+  Tensor x = Tensor::randn(Shape{{256, h}}, rng);
+  Tensor bias = Tensor::randn(Shape{{h}}, rng, 0.5f);
+  for (auto _ : state) {
+    Tensor y = ops::gelu(ops::add_bias(x, bias));
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 256 * h);
+}
+
+void BM_SbhToBhsd(benchmark::State& state) {
+  const int64_t s = state.range(0);
+  Rng rng(5);
+  Tensor x = Tensor::randn(Shape{{s, 4, 512}}, rng);
+  for (auto _ : state) {
+    Tensor y = ops::sbh_to_bhsd(x, 8);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * s * 4 * 512);
+}
+
+void BM_SbhToBhsdGenericPermute(benchmark::State& state) {
+  const int64_t s = state.range(0);
+  Rng rng(5);
+  Tensor x = Tensor::randn(Shape{{s, 4, 512}}, rng);
+  for (auto _ : state) {
+    Tensor y = ops::permute(x.reshape(Shape{{s, 4, 8, 64}}), {1, 2, 0, 3})
+                   .reshape(Shape{{4 * 8, s, 64}});
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * s * 4 * 512);
 }
 
 void BM_LayerNorm(benchmark::State& state) {
@@ -83,11 +436,45 @@ void BM_Gelu(benchmark::State& state) {
 
 }  // namespace
 
-BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+BENCHMARK(BM_MatmulPrePR)->Arg(128)->Arg(512);
 BENCHMARK(BM_BmmAttentionScores)->Arg(32)->Arg(128);
 BENCHMARK(BM_SoftmaxCausal)->Arg(64)->Arg(256);
+BENCHMARK(BM_ScaledSoftmaxFused)->Arg(256);
+BENCHMARK(BM_ScaledSoftmaxComposed)->Arg(256);
+BENCHMARK(BM_BiasGeluFused)->Arg(512)->Arg(4096);
+BENCHMARK(BM_BiasGeluComposed)->Arg(512)->Arg(4096);
+BENCHMARK(BM_SbhToBhsd)->Arg(256);
+BENCHMARK(BM_SbhToBhsdGenericPermute)->Arg(256);
 BENCHMARK(BM_LayerNorm)->Arg(64)->Arg(512);
 BENCHMARK(BM_StatelessDropout)->Arg(1 << 12)->Arg(1 << 16);
 BENCHMARK(BM_Gelu)->Arg(1 << 12)->Arg(1 << 16);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off our custom modes before google-benchmark sees the args.
+  std::vector<char*> passthrough = {argv[0]};
+  bool smoke = false, json = false;
+  std::string json_path = "BENCH_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      json_path = arg.substr(7);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (smoke) return run_smoke();
+  if (json) return run_json(json_path);
+  int pargc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pargc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

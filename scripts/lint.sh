@@ -27,12 +27,20 @@
 #                      arena) so the pool's stats and high-water marks
 #                      see every buffer. Tests/bench/examples may use
 #                      vector<float> freely for host-side lists.
+#   hot-permute      — an ops::permute / ag::permute call in the model
+#                      hot path (src/core, src/model, src/pipeline,
+#                      src/train, src/runtime). The generic permute is
+#                      an element-at-a-time gather; hot-path layout
+#                      changes should use the specialized blocked
+#                      copies (ops::sbh_to_bhsd / bhsd_to_sbh) or a new
+#                      specialized kernel in tensor/kernels.h.
 #
 # Suppress a deliberate instance with a comment on the offending line:
 #   // lint:allow(raw-lock)
 #   // lint:allow(comm-under-lock)
 #   // lint:allow(unwaited-handle)
 #   // lint:allow(raw-storage)
+#   // lint:allow(hot-permute)
 #
 # Exits nonzero if any check fires. Pure bash+grep+awk: runs on the
 # minimal container image, no clang tooling needed.
@@ -168,6 +176,22 @@ if [ -n "$raw_storage" ]; then
   echo "      through Tensor/Storage so the arena accounts for it;"
   echo "      suppress with // lint:allow(raw-storage)):"
   echo "$raw_storage"
+  status=1
+fi
+
+# --------------------------------------------------------- hot-permute
+# Generic permute on the model hot path. The autograd PermuteNode and
+# comm-layer staging keep their generic calls (not matched: they live
+# in src/autograd and src/comm); layers/models/pipeline must use the
+# specialized layout kernels.
+hot_permute=$(grep -nE '\b(ops|ag)::permute[ \t]*\(' \
+    $(echo "$FILES" | grep -E '^src/(core|model|pipeline|train|runtime)/' || true) \
+    /dev/null 2>/dev/null | grep -v 'lint:allow(hot-permute)' || true)
+if [ -n "$hot_permute" ]; then
+  echo "lint: generic permute on a hot path (use the specialized layout"
+  echo "      kernels in tensor/kernels.h, e.g. ops::sbh_to_bhsd;"
+  echo "      suppress with // lint:allow(hot-permute)):"
+  echo "$hot_permute" | sed 's/^/  /'
   status=1
 fi
 

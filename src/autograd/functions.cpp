@@ -183,6 +183,36 @@ Var gelu(const Var& x, const std::string& tag) {
   return make_output(std::move(y), std::move(node), {x});
 }
 
+namespace {
+class BiasGeluNode : public Node {
+ public:
+  BiasGeluNode(const Var& x, const Var& bias, const std::string& tag)
+      : saved_x_(x.value(), tag, !x.is_param()),
+        saved_bias_(bias.value(), tag + "_b", !bias.is_param()) {}
+  const char* name() const override { return "bias_gelu"; }
+  std::vector<Tensor> backward(const Tensor& grad_out) override {
+    auto g = ops::bias_gelu_grad(saved_x_.get(), saved_bias_.get(), grad_out);
+    return {g.dx, g.dbias};
+  }
+  void release_saved() override {
+    saved_x_.reset();
+    saved_bias_.reset();
+  }
+
+ private:
+  SavedTensor saved_x_, saved_bias_;
+};
+}  // namespace
+
+Var bias_gelu(const Var& x, const Var& bias, const std::string& tag) {
+  Tensor y = ops::bias_gelu(x.value(), bias.value());
+  std::shared_ptr<Node> node;
+  if (GradMode::enabled() && (x.requires_grad() || bias.requires_grad())) {
+    node = std::make_shared<BiasGeluNode>(x, bias, tag);
+  }
+  return make_output(std::move(y), std::move(node), {x, bias});
+}
+
 // ----------------------------------------------------------------- softmax
 
 namespace {
@@ -206,6 +236,33 @@ Var softmax(const Var& x, bool causal, const std::string& tag) {
   std::shared_ptr<Node> node;
   if (GradMode::enabled() && x.requires_grad()) {
     node = std::make_shared<SoftmaxNode>(y, tag);
+  }
+  return make_output(std::move(y), std::move(node), {x});
+}
+
+namespace {
+class ScaledSoftmaxNode : public Node {
+ public:
+  ScaledSoftmaxNode(Tensor y, float alpha, const std::string& tag)
+      : saved_y_(std::move(y), tag, /*counted=*/true), alpha_(alpha) {}
+  const char* name() const override { return "scaled_softmax"; }
+  std::vector<Tensor> backward(const Tensor& grad_out) override {
+    return {ops::scaled_softmax_grad(saved_y_.get(), grad_out, alpha_)};
+  }
+  void release_saved() override { saved_y_.reset(); }
+
+ private:
+  SavedTensor saved_y_;
+  float alpha_;
+};
+}  // namespace
+
+Var scaled_softmax(const Var& x, float alpha, bool causal,
+                   const std::string& tag) {
+  Tensor y = ops::scaled_softmax(x.value(), alpha, causal);
+  std::shared_ptr<Node> node;
+  if (GradMode::enabled() && x.requires_grad()) {
+    node = std::make_shared<ScaledSoftmaxNode>(y, alpha, tag);
   }
   return make_output(std::move(y), std::move(node), {x});
 }
@@ -471,22 +528,43 @@ std::vector<Var> chunk(const Var& x, int64_t n, int dim) {
   return out;
 }
 
+namespace {
+// The two attention-layout transposes are exact inverses of each other,
+// so each node's backward is the opposite specialized copy — no saved
+// tensors, no generic permute coordinate walk.
+class SbhToBhsdNode : public Node {
+ public:
+  explicit SbhToBhsdNode(int64_t heads) : heads_(heads) {}
+  const char* name() const override { return "sbh_to_bhsd"; }
+  std::vector<Tensor> backward(const Tensor& grad_out) override {
+    return {ops::bhsd_to_sbh(grad_out, heads_)};
+  }
+
+ private:
+  int64_t heads_;
+};
+
+class BhsdToSbhNode : public Node {
+ public:
+  explicit BhsdToSbhNode(int64_t heads) : heads_(heads) {}
+  const char* name() const override { return "bhsd_to_sbh"; }
+  std::vector<Tensor> backward(const Tensor& grad_out) override {
+    return {ops::sbh_to_bhsd(grad_out, heads_)};
+  }
+
+ private:
+  int64_t heads_;
+};
+}  // namespace
+
 Var sbh_to_bhsd(const Var& x, int64_t heads) {
-  const int64_t s = x.value().dim(0), b = x.value().dim(1), hp = x.value().dim(2);
-  MLS_CHECK_EQ(hp % heads, 0);
-  const int64_t d = hp / heads;
-  Var r = reshape(x, Shape{{s, b, heads, d}});
-  Var p = permute(r, {1, 2, 0, 3});
-  return reshape(p, Shape{{b * heads, s, d}});
+  Tensor y = ops::sbh_to_bhsd(x.value(), heads);
+  return make_output(std::move(y), std::make_shared<SbhToBhsdNode>(heads), {x});
 }
 
 Var bhsd_to_sbh(const Var& x, int64_t heads) {
-  const int64_t bh = x.value().dim(0), s = x.value().dim(1), d = x.value().dim(2);
-  MLS_CHECK_EQ(bh % heads, 0);
-  const int64_t b = bh / heads;
-  Var r = reshape(x, Shape{{b, heads, s, d}});
-  Var p = permute(r, {2, 0, 1, 3});
-  return reshape(p, Shape{{s, b, heads * d}});
+  Tensor y = ops::bhsd_to_sbh(x.value(), heads);
+  return make_output(std::move(y), std::make_shared<BhsdToSbhNode>(heads), {x});
 }
 
 }  // namespace mls::ag

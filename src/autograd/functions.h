@@ -6,7 +6,9 @@
 // The per-op saved set matches the paper's §4.1 accounting:
 //   matmul/bmm     save their (non-parameter) inputs
 //   gelu           saves its input
+//   bias_gelu      saves its (pre-bias) input — same bytes as gelu
 //   softmax        saves its output
+//   scaled_softmax saves its output — same bytes as softmax
 //   dropout        saves only its 1-byte mask
 //   layernorm      saves its input (mean/rstd are "minor" sb buffers)
 //   cross_entropy  saves the fp32 softmax (the paper's "logits" term)
@@ -34,8 +36,17 @@ Var add(const Var& a, const Var& b);
 Var add_bias(const Var& x, const Var& bias);
 Var scale(const Var& x, float s);
 Var gelu(const Var& x, const std::string& tag = "gelu_in");
+// Fused bias + GeLU (ops::bias_gelu): one sweep in forward, one fused
+// dx/dbias sweep in backward. Saves the pre-bias input instead of
+// gelu's post-bias input — identical activation bytes.
+Var bias_gelu(const Var& x, const Var& bias,
+              const std::string& tag = "gelu_in");
 Var softmax(const Var& x, bool causal = false,
             const std::string& tag = "softmax_out");
+// Fused alpha-scale + softmax (ops::scaled_softmax): the attention
+// 1/sqrt(d) scaling folded into the softmax sweep.
+Var scaled_softmax(const Var& x, float alpha, bool causal = false,
+                   const std::string& tag = "softmax_out");
 
 // Stateless dropout (see ops::dropout_stateless). Saves the mask.
 Var dropout(const Var& x, float p, uint64_t seed, const ops::IndexMap& map,
@@ -57,7 +68,9 @@ Var slice(const Var& x, int dim, int64_t start, int64_t len);
 Var cat(const std::vector<Var>& xs, int dim);
 std::vector<Var> chunk(const Var& x, int64_t n, int dim);
 
-// [s, b, heads*d] <-> [b*heads, s, d] attention layouts.
+// [s, b, heads*d] <-> [b*heads, s, d] attention layouts. Single nodes
+// over the specialized blocked copies in ops.h (each is the other's
+// backward); no saved tensors, no generic permute.
 Var sbh_to_bhsd(const Var& x, int64_t heads);
 Var bhsd_to_sbh(const Var& x, int64_t heads);
 

@@ -52,17 +52,19 @@ ColumnParallelLinear::ColumnParallelLinear(const ParallelEnv& env, int64_t in,
 }
 
 Var ColumnParallelLinear::forward(const Var& x, const ParallelEnv& env) const {
-  Var y;
+  return ag::add_bias(forward_nobias(x, env), bias);
+}
+
+Var ColumnParallelLinear::forward_nobias(const Var& x,
+                                         const ParallelEnv& env) const {
   if (env.sequence_parallel) {
     // g fused with the GEMM; §4.2.2's sharded-save optimization.
-    y = sp_gathered_matmul(x, weight, env.tp, /*trans_b=*/false,
-                           env.sharded_input_save, tag_ + "_in");
-  } else {
-    // f then GEMM; the replicated input is the saved activation.
-    Var xf = copy_to_tensor_parallel(x, env.tp);
-    y = ag::matmul(xf, weight, /*trans_b=*/false, tag_ + "_in");
+    return sp_gathered_matmul(x, weight, env.tp, /*trans_b=*/false,
+                              env.sharded_input_save, tag_ + "_in");
   }
-  return ag::add_bias(y, bias);
+  // f then GEMM; the replicated input is the saved activation.
+  Var xf = copy_to_tensor_parallel(x, env.tp);
+  return ag::matmul(xf, weight, /*trans_b=*/false, tag_ + "_in");
 }
 
 // ----------------------------------------------------- RowParallelLinear
@@ -115,12 +117,13 @@ Var ParallelSelfAttention::forward(const Var& x, const ParallelEnv& env) const {
   Var q = ag::sbh_to_bhsd(parts[0], heads_local);  // [b*a/t, s, d]
   Var k = ag::sbh_to_bhsd(parts[1], heads_local);
   Var v = ag::sbh_to_bhsd(parts[2], heads_local);
-  q = ag::scale(q, 1.0f / std::sqrt(static_cast<float>(d)));
 
   // The attention core (Fig 3's red dashed region): QKᵀ, softmax,
   // softmax-dropout, attention over V. Under selective recomputation
   // this whole region is checkpointed with Q/K/V as the stored inputs;
   // everything inside (the 5as²b/t bytes) is recomputed in backward.
+  // The 1/sqrt(d) score scaling is fused into the softmax sweep.
+  const float alpha = 1.0f / std::sqrt(static_cast<float>(d));
   const uint64_t seed = env.dropout_seed(site_base_ + 0);
   const int64_t bh = q.value().dim(0);
   const int64_t s_full = q.value().dim(1);
@@ -128,10 +131,10 @@ Var ParallelSelfAttention::forward(const Var& x, const ParallelEnv& env) const {
   const float p = env.effective_dropout(dropout_p_);
   const bool causal = causal_;
   const int64_t a_total = a_;
-  auto attn_core = [seed, heads_local, r, a_total, b, s_full, p,
-                    causal](const std::vector<Var>& ins) {
+  auto attn_core = [seed, heads_local, r, a_total, b, s_full, p, causal,
+                    alpha](const std::vector<Var>& ins) {
     Var scores = ag::bmm(ins[0], ins[1], /*trans_b=*/true, "attn_qk");
-    Var probs = ag::softmax(scores, causal, "attn_softmax_out");
+    Var probs = ag::scaled_softmax(scores, alpha, causal, "attn_softmax_out");
     // Mask coordinates live in the global [b, a, s, s] tensor so all
     // shardings (and the serial reference) draw identical masks.
     ops::IndexMap map;
@@ -165,7 +168,9 @@ ParallelMLP::ParallelMLP(const ParallelEnv& env, int64_t h, Rng& master,
       lin2(env, 4 * h, h, master, 0.02f, name + ".lin2") {}
 
 Var ParallelMLP::forward(const Var& x, const ParallelEnv& env) const {
-  Var z = ag::gelu(lin1.forward(x, env), "mlp_gelu_in");
+  // Fused bias+GeLU epilogue on lin1's GEMM output (one sweep instead
+  // of add_bias + gelu; same saved bytes — see functions.h).
+  Var z = ag::bias_gelu(lin1.forward_nobias(x, env), lin1.bias, "mlp_gelu_in");
   return lin2.forward(z, env);
 }
 

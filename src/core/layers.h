@@ -32,6 +32,9 @@ class ColumnParallelLinear {
                        int64_t blocks = 1);
 
   ag::Var forward(const ag::Var& x, const ParallelEnv& env) const;
+  // The GEMM without the bias epilogue, for callers that fuse the bias
+  // into the next op (ParallelMLP's bias+GeLU).
+  ag::Var forward_nobias(const ag::Var& x, const ParallelEnv& env) const;
 
   int64_t out_per_rank() const { return weight.value().dim(1); }
   std::vector<ag::Var> params() const { return {weight, bias}; }

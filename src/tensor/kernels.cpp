@@ -1,0 +1,473 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/env.h"
+
+namespace mls::kernels {
+
+namespace {
+
+// Register tile: MR rows of C, NR columns. NR is the vector dimension
+// (contiguous in the packed B panel and in C), so the compiler keeps
+// acc[][] in vector registers and forms one FMA per lane per k step.
+// 6 x 16 fits AVX2's 16 ymm registers (12 accumulators + B loads + the
+// A broadcast) and divides evenly into the cache blocks below.
+constexpr int64_t MR = 6;
+constexpr int64_t NR = 16;
+// Cache blocking: the packed A block (MC x KC floats, ~96 KiB) targets
+// L2; the packed B panel (KC x NC, ~512 KiB) targets L3/L2. All are
+// multiples of the register tile.
+constexpr int64_t MC = 96;
+constexpr int64_t KC = 256;
+constexpr int64_t NC = 512;
+
+// Below this many multiply-adds a GEMM is not worth fanning out to the
+// worker pool (thread wake + join would dominate).
+constexpr int64_t kParallelGrain = int64_t{1} << 18;
+
+// ------------------------------------------------------------- packing
+// Per-thread packing scratch. Workers and rank threads each get their
+// own, so packing never contends and buffers are reused across calls.
+thread_local std::vector<float> tl_pack_a;
+thread_local std::vector<float> tl_pack_b;
+
+// Packs B[pc:pc+kc, jc:jc+nc] (logical, after trans) into NR-wide
+// column panels: bp[(jr/NR) * kc*NR + kk*NR + j]. Columns beyond nc are
+// zero-filled so the micro-kernel never branches on the n edge.
+void pack_b(const float* b, float* bp, int64_t kc, int64_t nc, int64_t rs_b,
+            int64_t cs_b) {
+  for (int64_t jr = 0; jr < nc; jr += NR) {
+    const int64_t nr = std::min(NR, nc - jr);
+    float* panel = bp + (jr / NR) * kc * NR;
+    for (int64_t kk = 0; kk < kc; ++kk) {
+      const float* src = b + kk * rs_b + jr * cs_b;
+      float* dst = panel + kk * NR;
+      if (cs_b == 1) {
+        for (int64_t j = 0; j < nr; ++j) dst[j] = src[j];
+      } else {
+        for (int64_t j = 0; j < nr; ++j) dst[j] = src[j * cs_b];
+      }
+      for (int64_t j = nr; j < NR; ++j) dst[j] = 0.0f;
+    }
+  }
+}
+
+// Packs A[ic:ic+mc, pc:pc+kc] (logical, after trans) into MR-tall row
+// panels: ap[(ir/MR) * kc*MR + kk*MR + i], zero-padding the m edge.
+void pack_a(const float* a, float* ap, int64_t mc, int64_t kc, int64_t rs_a,
+            int64_t cs_a) {
+  for (int64_t ir = 0; ir < mc; ir += MR) {
+    const int64_t mr = std::min(MR, mc - ir);
+    float* panel = ap + (ir / MR) * kc * MR;
+    for (int64_t kk = 0; kk < kc; ++kk) {
+      const float* src = a + ir * rs_a + kk * cs_a;
+      float* dst = panel + kk * MR;
+      for (int64_t i = 0; i < mr; ++i) dst[i] = src[i * rs_a];
+      for (int64_t i = mr; i < MR; ++i) dst[i] = 0.0f;
+    }
+  }
+}
+
+// --------------------------------------------------------- micro-kernel
+// C[MR x NR] tile from packed panels. The k-step body is written with
+// the j loop outermost and the MR row updates unrolled by hand inside
+// it: that makes j the axis the compiler vectorizes (NR contiguous
+// floats -> full-width FMAs) and lets it promote all MR accumulator
+// rows to vector registers. The natural i-over-j nesting reads the
+// same, but GCC vectorizes the *i* axis of it (4-lane broadcasts, acc
+// spilled to the stack) and runs ~50x slower. Zero-padded panels mean
+// every tile runs the full MR x NR body; only the write-back respects
+// the true edge, so each output element's k-reduction order is
+// identical on and off the edge.
+void micro_kernel(const float* ap, const float* bp, float* c, int64_t ldc,
+                  int64_t kc, int64_t mr, int64_t nr, bool accumulate) {
+  static_assert(MR == 6, "row updates below are unrolled for MR == 6");
+  float acc[MR][NR] = {};
+  for (int64_t kk = 0; kk < kc; ++kk) {
+    const float* a = ap + kk * MR;
+    const float* b = bp + kk * NR;
+    for (int64_t j = 0; j < NR; ++j) {
+      acc[0][j] += a[0] * b[j];
+      acc[1][j] += a[1] * b[j];
+      acc[2][j] += a[2] * b[j];
+      acc[3][j] += a[3] * b[j];
+      acc[4][j] += a[4] * b[j];
+      acc[5][j] += a[5] * b[j];
+    }
+  }
+  if (accumulate) {
+    for (int64_t i = 0; i < mr; ++i) {
+      float* crow = c + i * ldc;
+      for (int64_t j = 0; j < nr; ++j) crow[j] += acc[i][j];
+    }
+  } else {
+    for (int64_t i = 0; i < mr; ++i) {
+      float* crow = c + i * ldc;
+      for (int64_t j = 0; j < nr; ++j) crow[j] = acc[i][j];
+    }
+  }
+}
+
+}  // namespace
+
+int threads() {
+  const int64_t t = core::Env::integer("MLS_KERNEL_THREADS", 1);
+  return static_cast<int>(std::clamp<int64_t>(t, 1, 64));
+}
+
+bool use_reference() { return core::Env::flag("MLS_KERNEL_REF", false); }
+
+void gemm_blocked(const float* a, const float* b, float* c, int64_t m,
+                  int64_t n, int64_t k, bool trans_a, bool trans_b,
+                  int64_t lda, int64_t ldb, int64_t ldc) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    for (int64_t i = 0; i < m; ++i)
+      std::memset(c + i * ldc, 0, sizeof(float) * static_cast<size_t>(n));
+    return;
+  }
+  // Row/column strides of the *logical* [m,k] and [k,n] operands.
+  const int64_t rs_a = trans_a ? 1 : lda;
+  const int64_t cs_a = trans_a ? lda : 1;
+  const int64_t rs_b = trans_b ? 1 : ldb;
+  const int64_t cs_b = trans_b ? ldb : 1;
+
+  tl_pack_a.resize(static_cast<size_t>(MC * KC));
+  tl_pack_b.resize(static_cast<size_t>(KC * NC));
+  float* ap = tl_pack_a.data();
+  float* bp = tl_pack_b.data();
+
+  for (int64_t jc = 0; jc < n; jc += NC) {
+    const int64_t nc = std::min(NC, n - jc);
+    for (int64_t pc = 0; pc < k; pc += KC) {
+      const int64_t kc = std::min(KC, k - pc);
+      // beta=0: the first k-panel writes C, later panels accumulate.
+      const bool accumulate = pc > 0;
+      pack_b(b + pc * rs_b + jc * cs_b, bp, kc, nc, rs_b, cs_b);
+      for (int64_t ic = 0; ic < m; ic += MC) {
+        const int64_t mc = std::min(MC, m - ic);
+        pack_a(a + ic * rs_a + pc * cs_a, ap, mc, kc, rs_a, cs_a);
+        for (int64_t jr = 0; jr < nc; jr += NR) {
+          const int64_t nr = std::min(NR, nc - jr);
+          const float* bpanel = bp + (jr / NR) * kc * NR;
+          for (int64_t ir = 0; ir < mc; ir += MR) {
+            const int64_t mr = std::min(MR, mc - ir);
+            micro_kernel(ap + (ir / MR) * kc * MR, bpanel,
+                         c + (ic + ir) * ldc + jc + jr, ldc, kc, mr, nr,
+                         accumulate);
+          }
+        }
+      }
+    }
+  }
+}
+
+void gemm_ref(const float* a, const float* b, float* c, int64_t m, int64_t n,
+              int64_t k, bool trans_a, bool trans_b) {
+  auto A = [&](int64_t i, int64_t kk) {
+    return trans_a ? a[kk * m + i] : a[i * k + kk];
+  };
+  if (!trans_b) {
+    // i-k-j saxpy order; C row zeroed up front (beta = 0). The zero
+    // operand is NOT skipped: a data-dependent branch here made kernel
+    // timing depend on the values, skewing bench_table4/bench_overlap.
+    for (int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * n;
+      std::memset(crow, 0, sizeof(float) * static_cast<size_t>(n));
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = A(i, kk);
+        const float* brow = b + kk * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else {
+    // B is [n, k]; dot rows of A with rows of B (double accumulator,
+    // preserved from the seed kernel for A/B comparability).
+    for (int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        double acc = 0.0;
+        for (int64_t kk = 0; kk < k; ++kk) acc += A(i, kk) * brow[kk];
+        crow[j] = static_cast<float>(acc);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------- worker pool
+namespace {
+
+// A small per-caller-thread worker pool. Each thread that issues
+// parallel kernels (each simulated rank, each runtime stream worker)
+// owns its workers outright: no cross-rank queue contention, and the
+// pool is torn down by the thread_local destructor when the owning
+// thread exits. Tasks index a deterministic partition of the output,
+// so which worker runs which task never affects results.
+class WorkerPool {
+ public:
+  static WorkerPool& local() {
+    thread_local WorkerPool pool;
+    return pool;
+  }
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_start_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  // Runs fn(0..ntasks-1), the caller participating; returns when all
+  // tasks completed. ntasks-1 workers are (lazily) kept alive.
+  void run(int ntasks, const std::function<void(int)>& fn) {
+    if (ntasks <= 1) {
+      fn(0);
+      return;
+    }
+    spawn(ntasks - 1);
+    std::unique_lock<std::mutex> lock(mu_);
+    job_ = &fn;
+    ntasks_ = ntasks;
+    next_ = 0;
+    done_ = 0;
+    ++generation_;
+    cv_start_.notify_all();
+    drain(lock);
+    cv_done_.wait(lock, [&] { return done_ == ntasks_; });
+    job_ = nullptr;
+  }
+
+ private:
+  void spawn(int nworkers) {
+    while (static_cast<int>(workers_.size()) < nworkers) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  // Pulls tasks until the current job's queue is empty. Caller holds
+  // the lock; the task body runs unlocked.
+  void drain(std::unique_lock<std::mutex>& lock) {
+    while (next_ < ntasks_) {
+      const int t = next_++;
+      const std::function<void(int)>* job = job_;
+      lock.unlock();
+      (*job)(t);
+      lock.lock();
+      if (++done_ == ntasks_) cv_done_.notify_all();
+    }
+  }
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    uint64_t seen = 0;
+    for (;;) {
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      drain(lock);
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_start_, cv_done_;
+  std::vector<std::thread> workers_;
+  const std::function<void(int)>* job_ = nullptr;
+  uint64_t generation_ = 0;
+  int ntasks_ = 0;
+  int next_ = 0;
+  int done_ = 0;
+  bool stop_ = false;
+};
+
+int64_t ceil_div(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+void gemm(const float* a, const float* b, float* c, int64_t m, int64_t n,
+          int64_t k, bool trans_a, bool trans_b) {
+  if (use_reference()) {
+    gemm_ref(a, b, c, m, n, k, trans_a, trans_b);
+    return;
+  }
+  const int64_t lda = trans_a ? m : k;
+  const int64_t ldb = trans_b ? k : n;
+  int nt = threads();
+  if (nt > 1 && m * n * k < kParallelGrain) nt = 1;
+  if (nt == 1) {
+    gemm_blocked(a, b, c, m, n, k, trans_a, trans_b, lda, ldb, n);
+    return;
+  }
+  // Split the larger of M/N into per-task tile-aligned ranges. Each
+  // task is a complete blocked GEMM over its row/column slab; every
+  // output element is produced by exactly one task with the same
+  // k-order as the single-thread run, so results are bit-identical.
+  const bool split_n = n >= m;
+  if (split_n) {
+    const int64_t chunk = ceil_div(ceil_div(n, nt), NR) * NR;
+    const int ntasks = static_cast<int>(ceil_div(n, chunk));
+    WorkerPool::local().run(ntasks, [&](int t) {
+      const int64_t j0 = t * chunk;
+      const int64_t nn = std::min(chunk, n - j0);
+      gemm_blocked(a, b + (trans_b ? j0 * ldb : j0), c + j0, m, nn, k, trans_a,
+                   trans_b, lda, ldb, n);
+    });
+  } else {
+    const int64_t chunk = ceil_div(ceil_div(m, nt), MR) * MR;
+    const int ntasks = static_cast<int>(ceil_div(m, chunk));
+    WorkerPool::local().run(ntasks, [&](int t) {
+      const int64_t i0 = t * chunk;
+      const int64_t mm = std::min(chunk, m - i0);
+      gemm_blocked(a + (trans_a ? i0 : i0 * lda), b, c + i0 * n, mm, n, k,
+                   trans_a, trans_b, lda, ldb, n);
+    });
+  }
+}
+
+void bmm(const float* a, const float* b, float* c, int64_t nb, int64_t m,
+         int64_t n, int64_t k, bool trans_a, bool trans_b) {
+  const int64_t a_stride = m * k;
+  const int64_t b_stride = k * n;
+  const int64_t c_stride = m * n;
+  if (use_reference()) {
+    for (int64_t i = 0; i < nb; ++i) {
+      gemm_ref(a + i * a_stride, b + i * b_stride, c + i * c_stride, m, n, k,
+               trans_a, trans_b);
+    }
+    return;
+  }
+  const int64_t lda = trans_a ? m : k;
+  const int64_t ldb = trans_b ? k : n;
+  int nt = threads();
+  if (nt > 1 && nb * m * n * k < kParallelGrain) nt = 1;
+  if (nt == 1 || nb == 1) {
+    // A single batch still gets M/N-tile parallelism via gemm().
+    if (nb == 1) {
+      gemm(a, b, c, m, n, k, trans_a, trans_b);
+      return;
+    }
+    for (int64_t i = 0; i < nb; ++i) {
+      gemm_blocked(a + i * a_stride, b + i * b_stride, c + i * c_stride, m, n,
+                   k, trans_a, trans_b, lda, ldb, n);
+    }
+    return;
+  }
+  // Batches are independent: split the batch dimension.
+  const int64_t chunk = ceil_div(nb, nt);
+  const int ntasks = static_cast<int>(ceil_div(nb, chunk));
+  WorkerPool::local().run(ntasks, [&](int t) {
+    const int64_t i0 = t * chunk;
+    const int64_t i1 = std::min(nb, i0 + chunk);
+    for (int64_t i = i0; i < i1; ++i) {
+      gemm_blocked(a + i * a_stride, b + i * b_stride, c + i * c_stride, m, n,
+                   k, trans_a, trans_b, lda, ldb, n);
+    }
+  });
+}
+
+// ------------------------------------------------------- fused epilogues
+
+void bias_gelu(const float* x, const float* bias, float* y, int64_t rows,
+               int64_t h) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * h;
+    float* yr = y + r * h;
+    for (int64_t j = 0; j < h; ++j) yr[j] = gelu_value(xr[j] + bias[j]);
+  }
+}
+
+void bias_gelu_grad(const float* x, const float* bias, const float* dy,
+                    float* dx, float* dbias, int64_t rows, int64_t h) {
+  std::memset(dbias, 0, sizeof(float) * static_cast<size_t>(h));
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * h;
+    const float* gr = dy + r * h;
+    float* dr = dx + r * h;
+    for (int64_t j = 0; j < h; ++j) {
+      const float d = gr[j] * gelu_derivative(xr[j] + bias[j]);
+      dr[j] = d;
+      dbias[j] += d;
+    }
+  }
+}
+
+void scaled_softmax(const float* x, float* y, int64_t rows, int64_t sq,
+                    int64_t sk, float alpha, bool causal) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* in = x + r * sk;
+    float* out = y + r * sk;
+    const int64_t qi = causal ? (r % sq) : 0;
+    const int64_t valid =
+        causal ? std::min<int64_t>(sk, qi + 1 + (sk - sq)) : sk;
+    float mx = -INFINITY;
+    for (int64_t j = 0; j < valid; ++j) mx = std::max(mx, alpha * in[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < valid; ++j) {
+      const float e = std::exp(alpha * in[j] - mx);
+      out[j] = e;
+      denom += e;
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t j = 0; j < valid; ++j) out[j] *= inv;
+    for (int64_t j = valid; j < sk; ++j) out[j] = 0.0f;
+  }
+}
+
+void scaled_softmax_grad(const float* y, const float* dy, float* dx,
+                         int64_t rows, int64_t n, float alpha) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* yr = y + r * n;
+    const float* gr = dy + r * n;
+    float* dr = dx + r * n;
+    double dot = 0.0;
+    for (int64_t j = 0; j < n; ++j) dot += yr[j] * gr[j];
+    const float d = static_cast<float>(dot);
+    for (int64_t j = 0; j < n; ++j) dr[j] = alpha * (yr[j] * (gr[j] - d));
+  }
+}
+
+// ---------------------------------------------------- layout transposes
+
+void sbh_to_bhsd(const float* x, float* y, int64_t s, int64_t b,
+                 int64_t heads, int64_t d) {
+  // y[(bi*heads+hi), si, :] = x[si, bi, hi*d : (hi+1)*d]. The d-row is
+  // contiguous in both layouts; walk the output so writes stream.
+  const int64_t x_row = b * heads * d;  // stride between si steps in x
+  const size_t row_bytes = sizeof(float) * static_cast<size_t>(d);
+  for (int64_t bi = 0; bi < b; ++bi) {
+    for (int64_t hi = 0; hi < heads; ++hi) {
+      const float* src = x + bi * heads * d + hi * d;
+      float* dst = y + (bi * heads + hi) * s * d;
+      for (int64_t si = 0; si < s; ++si) {
+        std::memcpy(dst + si * d, src + si * x_row, row_bytes);
+      }
+    }
+  }
+}
+
+void bhsd_to_sbh(const float* x, float* y, int64_t s, int64_t b,
+                 int64_t heads, int64_t d) {
+  const int64_t y_row = b * heads * d;
+  const size_t row_bytes = sizeof(float) * static_cast<size_t>(d);
+  for (int64_t bi = 0; bi < b; ++bi) {
+    for (int64_t hi = 0; hi < heads; ++hi) {
+      const float* src = x + (bi * heads + hi) * s * d;
+      float* dst = y + bi * heads * d + hi * d;
+      for (int64_t si = 0; si < s; ++si) {
+        std::memcpy(dst + si * y_row, src + si * d, row_bytes);
+      }
+    }
+  }
+}
+
+}  // namespace mls::kernels

@@ -1,0 +1,126 @@
+// Raw float kernels: the compute substrate under tensor/ops.h.
+//
+// Everything the simulator times — bench_table4 layer walls, bench_table5
+// end-to-end, the overlap windows that hide selective-recompute replays —
+// bottoms out here, so these kernels are written for throughput while
+// keeping the determinism contract the rest of the system relies on:
+//
+//  * gemm() is a cache-blocked GEMM (BLIS-style jc/pc/ic/jr/ir loop nest)
+//    with B- and A-panel packing and a register-tiled MR x NR micro-kernel
+//    laid out so the compiler auto-vectorizes the NR dimension and forms
+//    FMAs along k. No intrinsics; see src/CMakeLists.txt for the
+//    per-file codegen flags.
+//  * beta = 0 semantics: C is fully overwritten, never read before the
+//    first write — callers pass Tensor::empty() storage and skip the
+//    zeros() memset.
+//  * Determinism: every output element C[i,j] is reduced over k in a
+//    fixed order (register-accumulated kc-panels at fixed absolute k
+//    boundaries, sequential within a panel). The order depends only on
+//    k, never on tile position, m/n edges, or the thread count — so
+//    results are bit-identical at any MLS_KERNEL_THREADS and invariant
+//    under column sharding of B / row sharding of A outputs.
+//  * Intra-op parallelism (MLS_KERNEL_THREADS, default 1) splits over
+//    M/N tiles (or the batch dimension for bmm) ONLY — never the k
+//    reduction. Workers live in a small per-caller-thread pool, so the
+//    thread-per-rank substrate and runtime streams never contend on a
+//    shared queue and teardown is per rank-thread.
+//  * MLS_KERNEL_REF=1 routes gemm()/bmm-shaped calls through gemm_ref(),
+//    the pre-blocking scalar kernel (single-threaded), for A/B numeric
+//    debugging. Blocked-vs-ref differ only by float reassociation of the
+//    k sum (and the trans_b ref path's double accumulator); see
+//    DESIGN.md "Kernel substrate" for the documented tolerances.
+//
+// The fused epilogues (bias+GeLU, scale-into-causal-softmax) fold the
+// cheap elementwise passes the transformer layer always runs
+// back-to-back into one sweep over the data.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace mls::kernels {
+
+// MLS_KERNEL_THREADS (clamped to [1, 64]); re-read on every call so
+// tests can toggle via core::Env.
+int threads();
+// MLS_KERNEL_REF — route GEMMs through the reference scalar kernel.
+bool use_reference();
+
+// ------------------------------------------------------------------ GEMM
+// C[m,n] = op(A) @ op(B), beta = 0 (C need not be initialized).
+// op(A) is [m,k]: stored row-major as A[m,k], or A[k,m] when trans_a.
+// op(B) is [k,n]: stored row-major as B[k,n], or B[n,k] when trans_b.
+// Dispatches to the blocked kernel (parallelized over M or N tiles when
+// MLS_KERNEL_THREADS > 1 and the problem is large enough) or, under
+// MLS_KERNEL_REF=1, to gemm_ref.
+void gemm(const float* a, const float* b, float* c, int64_t m, int64_t n,
+          int64_t k, bool trans_a = false, bool trans_b = false);
+
+// The blocked kernel, bypassing env dispatch (for tests/bench).
+// ldc is C's row stride (>= n), so threads can write disjoint column
+// ranges of a shared C. lda/ldb are the *storage* row strides of A/B
+// (i.e. of the buffer as laid out, before the logical transpose).
+void gemm_blocked(const float* a, const float* b, float* c, int64_t m,
+                  int64_t n, int64_t k, bool trans_a, bool trans_b,
+                  int64_t lda, int64_t ldb, int64_t ldc);
+
+// Reference scalar GEMM: the pre-blocking kernel (i-k-j saxpy loop for
+// op(B) = B, row-dot with a double accumulator for trans_b), beta = 0,
+// always single-threaded. Kept for A/B debugging and bitwise tests.
+void gemm_ref(const float* a, const float* b, float* c, int64_t m, int64_t n,
+              int64_t k, bool trans_a, bool trans_b);
+
+// Batched GEMM over nb independent [m,k] @ [k,n] problems with
+// contiguous batch strides; parallelized over the batch dimension.
+void bmm(const float* a, const float* b, float* c, int64_t nb, int64_t m,
+         int64_t n, int64_t k, bool trans_a, bool trans_b);
+
+// -------------------------------------------------------- fused epilogues
+// GeLU (tanh approximation) scalar bodies, shared by the fused and the
+// composed (ops::gelu / ops::gelu_grad) paths so both compute the same
+// expression.
+inline float gelu_value(float v) {
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  return 0.5f * v * (1.0f + std::tanh(kC * (v + 0.044715f * v * v * v)));
+}
+inline float gelu_derivative(float v) {
+  constexpr float kC = 0.7978845608028654f;
+  const float u = kC * (v + 0.044715f * v * v * v);
+  const float t = std::tanh(u);
+  const float dudv = kC * (1.0f + 3.0f * 0.044715f * v * v);
+  return 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * dudv;
+}
+
+// y[r,j] = gelu(x[r,j] + bias[j]) in one sweep (no bias-added
+// intermediate is materialized).
+void bias_gelu(const float* x, const float* bias, float* y, int64_t rows,
+               int64_t h);
+// dx[r,j] = dy[r,j] * gelu'(x[r,j] + bias[j]); dbias[j] = sum_r dx[r,j]
+// (dbias is overwritten, rows summed in increasing-r order — the same
+// order as the composed gelu_grad + sum_to_last_dim pair).
+void bias_gelu_grad(const float* x, const float* bias, const float* dy,
+                    float* dx, float* dbias, int64_t rows, int64_t h);
+
+// Softmax over the last dimension of alpha * x, optionally causal: rows
+// are the trailing [sq, sk] blocks; for row qi only the first
+// qi + 1 + (sk - sq) entries are live, the rest are written as 0.
+// Fuses the attention-score 1/sqrt(d) scaling into the max/exp sweep.
+void scaled_softmax(const float* x, float* y, int64_t rows, int64_t sq,
+                    int64_t sk, float alpha, bool causal);
+// dx = alpha * y * (dy - sum_j y[j] dy[j]) — backward of the above
+// given the forward *output* y.
+void scaled_softmax_grad(const float* y, const float* dy, float* dx,
+                         int64_t rows, int64_t n, float alpha);
+
+// ------------------------------------------------------ layout transposes
+// The two hot attention-layout transposes as blocked row copies (the
+// inner d-sized row is contiguous in both layouts), replacing generic
+// per-element permute coordinate arithmetic.
+// x: [s, b, heads*d] -> y: [b*heads, s, d]
+void sbh_to_bhsd(const float* x, float* y, int64_t s, int64_t b,
+                 int64_t heads, int64_t d);
+// x: [b*heads, s, d] -> y: [s, b, heads*d]
+void bhsd_to_sbh(const float* x, float* y, int64_t s, int64_t b,
+                 int64_t heads, int64_t d);
+
+}  // namespace mls::kernels

@@ -3,55 +3,19 @@
 #include <cmath>
 #include <cstring>
 
+#include "tensor/kernels.h"
+
 namespace mls::ops {
-
-namespace {
-
-// Core single GEMM on raw pointers: C[m,n] += A[m,k] * B[k,n], with
-// optional logical transposes realized via index mapping. Uses an
-// i-k-j loop order so the inner loop streams through contiguous rows.
-void gemm(const float* a, const float* b, float* c, int64_t m, int64_t n,
-          int64_t k, bool trans_a, bool trans_b) {
-  auto A = [&](int64_t i, int64_t kk) {
-    return trans_a ? a[kk * m + i] : a[i * k + kk];
-  };
-  if (!trans_b) {
-    for (int64_t i = 0; i < m; ++i) {
-      float* crow = c + i * n;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float av = A(i, kk);
-        if (av == 0.0f) continue;
-        const float* brow = b + kk * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  } else {
-    // B is [n, k]; dot rows of A with rows of B.
-    for (int64_t i = 0; i < m; ++i) {
-      float* crow = c + i * n;
-      for (int64_t j = 0; j < n; ++j) {
-        const float* brow = b + j * k;
-        double acc = 0.0;
-        for (int64_t kk = 0; kk < k; ++kk) acc += A(i, kk) * brow[kk];
-        crow[j] += static_cast<float>(acc);
-      }
-    }
-  }
-}
-
-}  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   MLS_CHECK_GE(a.ndim(), 2);
   MLS_CHECK_EQ(b.ndim(), 2);
-  // Flatten leading axes of A.
+  // Flatten leading axes of A; with trans_a they form the contraction
+  // dim of the flattened-2-D lhs.
   int64_t m = 1;
   for (int i = 0; i + 1 < a.ndim(); ++i) m *= a.dim(i);
   int64_t ka = a.dim(-1);
-  if (trans_a) {
-    MLS_CHECK_EQ(a.ndim(), 2) << "trans_a requires 2-D lhs";
-    std::swap(m, ka);
-  }
+  if (trans_a) std::swap(m, ka);
   const int64_t kb = trans_b ? b.dim(1) : b.dim(0);
   const int64_t n = trans_b ? b.dim(0) : b.dim(1);
   MLS_CHECK_EQ(ka, kb) << "matmul inner dims " << a.shape().str() << " x "
@@ -64,8 +28,9 @@ Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
     for (int i = 0; i + 1 < a.ndim(); ++i) out_dims.push_back(a.dim(i));
     out_dims.push_back(n);
   }
-  Tensor c = Tensor::zeros(Shape(out_dims), a.dtype());
-  gemm(a.data(), b.data(), c.data(), m, n, ka, trans_a, trans_b);
+  // beta=0 kernel: every element of C is written, so no zeros() memset.
+  Tensor c = Tensor::empty(Shape(out_dims), a.dtype());
+  kernels::gemm(a.data(), b.data(), c.data(), m, n, ka, trans_a, trans_b);
   return c;
 }
 
@@ -80,13 +45,8 @@ Tensor bmm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   const int64_t n = trans_b ? b.dim(1) : b.dim(2);
   MLS_CHECK_EQ(k, kb) << "bmm inner dims " << a.shape().str() << " x "
                       << b.shape().str();
-  Tensor c = Tensor::zeros(Shape{{nb, m, n}}, a.dtype());
-  const int64_t a_stride = a.dim(1) * a.dim(2);
-  const int64_t b_stride = b.dim(1) * b.dim(2);
-  for (int64_t i = 0; i < nb; ++i) {
-    gemm(a.data() + i * a_stride, b.data() + i * b_stride, c.data() + i * m * n,
-         m, n, k, trans_a, trans_b);
-  }
+  Tensor c = Tensor::empty(Shape{{nb, m, n}}, a.dtype());
+  kernels::bmm(a.data(), b.data(), c.data(), nb, m, n, k, trans_a, trans_b);
   return c;
 }
 
@@ -126,19 +86,12 @@ Tensor sum_to_last_dim(const Tensor& x) {
   return out;
 }
 
-namespace {
-constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
-}
-
 Tensor gelu(const Tensor& x) {
   Tensor y = Tensor::empty(x.shape(), x.dtype());
   const float* xp = x.data();
   float* yp = y.data();
   const int64_t n = x.numel();
-  for (int64_t i = 0; i < n; ++i) {
-    const float v = xp[i];
-    yp[i] = 0.5f * v * (1.0f + std::tanh(kGeluC * (v + 0.044715f * v * v * v)));
-  }
+  for (int64_t i = 0; i < n; ++i) yp[i] = kernels::gelu_value(xp[i]);
   return y;
 }
 
@@ -149,63 +102,57 @@ Tensor gelu_grad(const Tensor& x, const Tensor& dy) {
   const float* gp = dy.data();
   float* dp = dx.data();
   const int64_t n = x.numel();
-  for (int64_t i = 0; i < n; ++i) {
-    const float v = xp[i];
-    const float u = kGeluC * (v + 0.044715f * v * v * v);
-    const float t = std::tanh(u);
-    const float dudv = kGeluC * (1.0f + 3.0f * 0.044715f * v * v);
-    const float d = 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * dudv;
-    dp[i] = gp[i] * d;
-  }
+  for (int64_t i = 0; i < n; ++i)
+    dp[i] = gp[i] * kernels::gelu_derivative(xp[i]);
   return dx;
 }
 
-Tensor softmax_lastdim(const Tensor& x, bool causal) {
-  MLS_CHECK_GE(x.ndim(), 1);
-  const int64_t sk = x.dim(-1);
-  const int64_t sq = causal ? x.dim(-2) : 1;
-  const int64_t rows = x.numel() / sk;
+Tensor bias_gelu(const Tensor& x, const Tensor& bias) {
+  MLS_CHECK_EQ(bias.ndim(), 1);
+  const int64_t h = x.dim(-1);
+  MLS_CHECK_EQ(bias.dim(0), h);
   Tensor y = Tensor::empty(x.shape(), x.dtype());
-  const float* xp = x.data();
-  float* yp = y.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* in = xp + r * sk;
-    float* out = yp + r * sk;
-    // For causal masking, row index within the trailing [sq, sk] block.
-    const int64_t qi = causal ? (r % sq) : 0;
-    const int64_t valid = causal ? std::min<int64_t>(sk, qi + 1 + (sk - sq)) : sk;
-    float mx = -INFINITY;
-    for (int64_t j = 0; j < valid; ++j) mx = std::max(mx, in[j]);
-    double denom = 0.0;
-    for (int64_t j = 0; j < valid; ++j) {
-      const float e = std::exp(in[j] - mx);
-      out[j] = e;
-      denom += e;
-    }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (int64_t j = 0; j < valid; ++j) out[j] *= inv;
-    for (int64_t j = valid; j < sk; ++j) out[j] = 0.0f;
-  }
+  kernels::bias_gelu(x.data(), bias.data(), y.data(), x.numel() / h, h);
   return y;
 }
 
+BiasGeluGrads bias_gelu_grad(const Tensor& x, const Tensor& bias,
+                             const Tensor& dy) {
+  MLS_CHECK(x.shape() == dy.shape());
+  const int64_t h = x.dim(-1);
+  MLS_CHECK_EQ(bias.numel(), h);
+  BiasGeluGrads g;
+  g.dx = Tensor::empty(x.shape(), x.dtype());
+  g.dbias = Tensor::empty(Shape{{h}}, Dtype::F32);
+  kernels::bias_gelu_grad(x.data(), bias.data(), dy.data(), g.dx.data(),
+                          g.dbias.data(), x.numel() / h, h);
+  return g;
+}
+
+Tensor softmax_lastdim(const Tensor& x, bool causal) {
+  return scaled_softmax(x, 1.0f, causal);
+}
+
 Tensor softmax_lastdim_grad(const Tensor& y, const Tensor& dy) {
+  return scaled_softmax_grad(y, dy, 1.0f);
+}
+
+Tensor scaled_softmax(const Tensor& x, float alpha, bool causal) {
+  MLS_CHECK_GE(x.ndim(), 1);
+  const int64_t sk = x.dim(-1);
+  const int64_t sq = causal ? x.dim(-2) : 1;
+  Tensor y = Tensor::empty(x.shape(), x.dtype());
+  kernels::scaled_softmax(x.data(), y.data(), x.numel() / sk, sq, sk, alpha,
+                          causal);
+  return y;
+}
+
+Tensor scaled_softmax_grad(const Tensor& y, const Tensor& dy, float alpha) {
   MLS_CHECK(y.shape() == dy.shape());
   const int64_t n = y.dim(-1);
-  const int64_t rows = y.numel() / n;
   Tensor dx = Tensor::empty(y.shape(), y.dtype());
-  const float* yp = y.data();
-  const float* gp = dy.data();
-  float* dp = dx.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* yr = yp + r * n;
-    const float* gr = gp + r * n;
-    float* dr = dp + r * n;
-    double dot = 0.0;
-    for (int64_t j = 0; j < n; ++j) dot += yr[j] * gr[j];
-    const float d = static_cast<float>(dot);
-    for (int64_t j = 0; j < n; ++j) dr[j] = yr[j] * (gr[j] - d);
-  }
+  kernels::scaled_softmax_grad(y.data(), dy.data(), dx.data(), y.numel() / n,
+                               n, alpha);
   return dx;
 }
 
@@ -536,9 +483,9 @@ Tensor sbh_to_bhsd(const Tensor& x, int64_t heads) {
   const int64_t s = x.dim(0), b = x.dim(1), hp = x.dim(2);
   MLS_CHECK_EQ(hp % heads, 0);
   const int64_t d = hp / heads;
-  Tensor r = x.reshape(Shape{{s, b, heads, d}});
-  Tensor p = permute(r, {1, 2, 0, 3});  // [b, heads, s, d]
-  return p.reshape(Shape{{b * heads, s, d}});
+  Tensor y = Tensor::empty(Shape{{b * heads, s, d}}, x.dtype());
+  kernels::sbh_to_bhsd(x.data(), y.data(), s, b, heads, d);
+  return y;
 }
 
 Tensor bhsd_to_sbh(const Tensor& x, int64_t heads) {
@@ -546,9 +493,9 @@ Tensor bhsd_to_sbh(const Tensor& x, int64_t heads) {
   const int64_t bh = x.dim(0), s = x.dim(1), d = x.dim(2);
   MLS_CHECK_EQ(bh % heads, 0);
   const int64_t b = bh / heads;
-  Tensor r = x.reshape(Shape{{b, heads, s, d}});
-  Tensor p = permute(r, {2, 0, 1, 3});  // [s, b, heads, d]
-  return p.reshape(Shape{{s, b, heads * d}});
+  Tensor y = Tensor::empty(Shape{{s, b, heads * d}}, x.dtype());
+  kernels::bhsd_to_sbh(x.data(), y.data(), s, b, heads, d);
+  return y;
 }
 
 }  // namespace mls::ops

@@ -19,7 +19,12 @@ namespace mls::ops {
 // ---------------------------------------------------------------- GEMM
 // C[m,n] = A op B, where A is [m,k] (or [k,m] if trans_a) and B is
 // [k,n] (or [n,k] if trans_b). Leading dims of A may be multiple axes;
-// they are flattened (e.g. [s,b,h] @ [h,4h] -> [s,b,4h]).
+// they are flattened (e.g. [s,b,h] @ [h,4h] -> [s,b,4h]). With trans_a
+// the flattened leading axes are the contraction dim: [s,b,h] with
+// trans_a acts as [h, s*b] and the result is 2-D [h, n].
+// Both run on the blocked kernel substrate (tensor/kernels.h): beta=0
+// into uninitialized storage, MLS_KERNEL_THREADS-way M/N-tile
+// parallelism, MLS_KERNEL_REF=1 reference path.
 Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a = false,
               bool trans_b = false);
 
@@ -42,6 +47,17 @@ Tensor gelu(const Tensor& x);
 // dL/dx given input x and upstream gradient dy.
 Tensor gelu_grad(const Tensor& x, const Tensor& dy);
 
+// Fused bias + GeLU: gelu(x + bias) in one sweep, without
+// materializing the bias-added intermediate. bias has shape [h] and
+// broadcasts over the last dimension.
+Tensor bias_gelu(const Tensor& x, const Tensor& bias);
+struct BiasGeluGrads {
+  Tensor dx;     // dy * gelu'(x + bias)
+  Tensor dbias;  // dx summed over leading dims
+};
+BiasGeluGrads bias_gelu_grad(const Tensor& x, const Tensor& bias,
+                             const Tensor& dy);
+
 // ------------------------------------------------------------- softmax
 // Softmax over the last dimension. If `causal`, positions j > i of each
 // trailing [sq, sk] matrix are masked to zero probability (requires
@@ -50,6 +66,13 @@ Tensor gelu_grad(const Tensor& x, const Tensor& dy);
 Tensor softmax_lastdim(const Tensor& x, bool causal = false);
 // dL/dx given the softmax *output* y and upstream gradient dy.
 Tensor softmax_lastdim_grad(const Tensor& y, const Tensor& dy);
+
+// Fused attention-score scaling + softmax: softmax(alpha * x) over the
+// last dim, with the scale folded into the max/exp sweep (no scaled
+// intermediate tensor). Causal masking as in softmax_lastdim.
+Tensor scaled_softmax(const Tensor& x, float alpha, bool causal = false);
+// Backward given the forward *output* y: alpha * softmax_grad(y, dy).
+Tensor scaled_softmax_grad(const Tensor& y, const Tensor& dy, float alpha);
 
 // ----------------------------------------------------------- layernorm
 struct LayerNormOut {
@@ -131,6 +154,7 @@ std::vector<Tensor> chunk(const Tensor& x, int64_t n, int dim);
 Tensor permute(const Tensor& x, const std::vector<int>& perm);
 
 // [s, b, heads*d] -> [b*heads, s, d] (attention layout) and back.
+// Specialized blocked row copies (kernels.h), not generic permute.
 Tensor sbh_to_bhsd(const Tensor& x, int64_t heads);
 Tensor bhsd_to_sbh(const Tensor& x, int64_t heads);
 

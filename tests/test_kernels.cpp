@@ -1,0 +1,390 @@
+// Tests for the blocked kernel substrate (tensor/kernels.h):
+//  * blocked GEMM vs the scalar reference across tile-straddling
+//    shapes (1/7/17/64/130 hit every MR=6 / NR=16 edge case) and all
+//    four transpose variants,
+//  * bit-identical output at any MLS_KERNEL_THREADS (the library's
+//    determinism contract: k-reduction order never depends on tile
+//    position or thread count),
+//  * beta=0 semantics — every element of C is written, so matmul may
+//    run into uninitialized (NaN-canary) storage,
+//  * fused epilogues (bias+GeLU, scale+softmax) vs their composed
+//    equivalents at the ops and autograd levels,
+//  * the specialized sbh<->bhsd layout transposes vs generic permute,
+//  * an end-to-end t=2/p=2 training run: blocked path vs
+//    MLS_KERNEL_REF=1, losses equal within the documented tolerance,
+//    and bit-identical under MLS_KERNEL_THREADS=4.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "autograd/engine.h"
+#include "autograd/functions.h"
+#include "comm/spmd.h"
+#include "common/memtracker.h"
+#include "common/rng.h"
+#include "core/env.h"
+#include "optim/optim.h"
+#include "pipeline/executor.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+
+namespace mls {
+namespace {
+
+// RAII Env override so a failing EXPECT cannot leak the setting into
+// later tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(std::string name, const std::string& value) : name_(std::move(name)) {
+    core::Env::set(name_, value);
+  }
+  ~ScopedEnv() { core::Env::clear(name_); }
+
+ private:
+  std::string name_;
+};
+
+std::vector<float> random_vec(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(static_cast<size_t>(n));
+  Tensor t = Tensor::randn(Shape{{n}}, rng);
+  std::memcpy(v.data(), t.data(), sizeof(float) * static_cast<size_t>(n));
+  return v;
+}
+
+// Absolute tolerance for a length-k float dot product of randn values
+// against the reference (which accumulates in a different order /
+// precision). Scales linearly with k; catches any mis-indexed element
+// (those are O(1) wrong, not O(k * eps)).
+float dot_tol(int64_t k) { return 1e-5f + 5e-5f * static_cast<float>(k); }
+
+// ------------------------------------------------- blocked vs reference
+
+TEST(KernelGemm, BlockedMatchesReferenceAcrossShapesAndTrans) {
+  const int64_t sizes[] = {1, 7, 17, 64, 130};
+  for (int64_t m : sizes) {
+    for (int64_t n : sizes) {
+      for (int64_t k : sizes) {
+        const std::vector<float> a = random_vec(m * k, 1000 + m * 31 + k);
+        const std::vector<float> b = random_vec(k * n, 2000 + k * 31 + n);
+        for (int ta = 0; ta < 2; ++ta) {
+          for (int tb = 0; tb < 2; ++tb) {
+            const bool trans_a = ta != 0;
+            const bool trans_b = tb != 0;
+            // Storage: A is [m,k] ([k,m] if trans_a), B is [k,n] ([n,k]
+            // if trans_b); the flat buffers above serve either reading.
+            const int64_t lda = trans_a ? m : k;
+            const int64_t ldb = trans_b ? k : n;
+            std::vector<float> c_ref(static_cast<size_t>(m * n), -42.0f);
+            std::vector<float> c_blk(static_cast<size_t>(m * n), 42.0f);
+            kernels::gemm_ref(a.data(), b.data(), c_ref.data(), m, n, k,
+                              trans_a, trans_b);
+            kernels::gemm_blocked(a.data(), b.data(), c_blk.data(), m, n, k,
+                                  trans_a, trans_b, lda, ldb, n);
+            for (int64_t i = 0; i < m * n; ++i) {
+              ASSERT_NEAR(c_ref[static_cast<size_t>(i)],
+                          c_blk[static_cast<size_t>(i)], dot_tol(k))
+                  << "m=" << m << " n=" << n << " k=" << k
+                  << " trans_a=" << trans_a << " trans_b=" << trans_b
+                  << " elem=" << i;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelGemm, DispatcherHonorsReferenceFlag) {
+  const int64_t m = 33, n = 29, k = 41;
+  const std::vector<float> a = random_vec(m * k, 7);
+  const std::vector<float> b = random_vec(k * n, 8);
+  std::vector<float> c_ref(static_cast<size_t>(m * n));
+  std::vector<float> c_env(static_cast<size_t>(m * n));
+  kernels::gemm_ref(a.data(), b.data(), c_ref.data(), m, n, k, false, false);
+  {
+    ScopedEnv env("MLS_KERNEL_REF", "1");
+    ASSERT_TRUE(kernels::use_reference());
+    kernels::gemm(a.data(), b.data(), c_env.data(), m, n, k, false, false);
+  }
+  EXPECT_EQ(0, std::memcmp(c_ref.data(), c_env.data(),
+                           sizeof(float) * c_ref.size()));
+  ASSERT_FALSE(kernels::use_reference());
+}
+
+// -------------------------------------------- thread-count bit identity
+
+TEST(KernelGemm, ThreadCountDoesNotChangeBits) {
+  // Big enough to clear kParallelGrain so the pool actually engages;
+  // m and n straddle tile boundaries (130 = 21*6+4, 97 = 6*16+1).
+  const int64_t m = 130, n = 97, k = 256;
+  const std::vector<float> a = random_vec(m * k, 11);
+  const std::vector<float> b = random_vec(k * n, 12);
+  for (int ta = 0; ta < 2; ++ta) {
+    for (int tb = 0; tb < 2; ++tb) {
+      const bool trans_a = ta != 0;
+      const bool trans_b = tb != 0;
+      std::vector<float> c1(static_cast<size_t>(m * n));
+      kernels::gemm(a.data(), b.data(), c1.data(), m, n, k, trans_a, trans_b);
+      for (const char* nt : {"2", "4", "7"}) {
+        ScopedEnv env("MLS_KERNEL_THREADS", nt);
+        ASSERT_GT(kernels::threads(), 1);
+        std::vector<float> cn(static_cast<size_t>(m * n), -1.0f);
+        kernels::gemm(a.data(), b.data(), cn.data(), m, n, k, trans_a,
+                      trans_b);
+        EXPECT_EQ(0,
+                  std::memcmp(c1.data(), cn.data(), sizeof(float) * c1.size()))
+            << "threads=" << nt << " trans_a=" << trans_a
+            << " trans_b=" << trans_b;
+      }
+    }
+  }
+}
+
+TEST(KernelGemm, BmmThreadCountDoesNotChangeBits) {
+  const int64_t nb = 8, m = 33, n = 40, k = 64;  // nb*m*n*k > grain
+  const std::vector<float> a = random_vec(nb * m * k, 21);
+  const std::vector<float> b = random_vec(nb * k * n, 22);
+  std::vector<float> c1(static_cast<size_t>(nb * m * n));
+  kernels::bmm(a.data(), b.data(), c1.data(), nb, m, n, k, false, true);
+  {
+    ScopedEnv env("MLS_KERNEL_THREADS", "4");
+    std::vector<float> c4(static_cast<size_t>(nb * m * n), -1.0f);
+    kernels::bmm(a.data(), b.data(), c4.data(), nb, m, n, k, false, true);
+    EXPECT_EQ(0, std::memcmp(c1.data(), c4.data(), sizeof(float) * c1.size()));
+  }
+}
+
+// --------------------------------------------------- beta = 0 semantics
+
+TEST(KernelGemm, Beta0OverwritesPoisonedOutput) {
+  // The kernel must write every element of C (callers hand it
+  // Tensor::empty — uninitialized pooled storage). Poison C with NaN:
+  // any read-modify-write or skipped element survives as NaN.
+  const int64_t sizes[] = {1, 7, 64, 130};
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  for (int64_t m : sizes) {
+    for (int64_t n : sizes) {
+      const int64_t k = 17;
+      const std::vector<float> a = random_vec(m * k, 31);
+      const std::vector<float> b = random_vec(k * n, 32);
+      std::vector<float> c(static_cast<size_t>(m * n), nan);
+      kernels::gemm(a.data(), b.data(), c.data(), m, n, k, false, false);
+      for (float v : c) ASSERT_FALSE(std::isnan(v)) << "m=" << m << " n=" << n;
+    }
+  }
+}
+
+// ------------------------------------------------ matmul with 3-D lhs
+
+TEST(KernelOps, MatmulTransAFlattensLeadingAxes) {
+  // [s, b, h] with trans_a contracts over s*b: acts as [h, s*b] @ [s*b, n].
+  Rng rng(41);
+  const int64_t s = 5, b = 3, h = 8, n = 4;
+  Tensor x = Tensor::randn(Shape{{s, b, h}}, rng);
+  Tensor g = Tensor::randn(Shape{{s, b, n}}, rng);
+  Tensor dw = ops::matmul(x, g.reshape(Shape{{s * b, n}}), /*trans_a=*/true);
+  ASSERT_EQ(dw.dim(0), h);
+  ASSERT_EQ(dw.dim(1), n);
+  Tensor x2 = x.reshape(Shape{{s * b, h}});
+  Tensor want = ops::matmul(x2, g.reshape(Shape{{s * b, n}}), /*trans_a=*/true);
+  EXPECT_TRUE(dw.allclose(want, 0.f, 0.f));  // same kernel call; bitwise
+}
+
+// ------------------------------------------------------ fused epilogues
+
+TEST(KernelFused, BiasGeluMatchesComposedOps) {
+  Rng rng(51);
+  const int64_t rows = 37, h = 65;
+  Tensor x = Tensor::randn(Shape{{rows, h}}, rng);
+  Tensor bias = Tensor::randn(Shape{{h}}, rng, 0.5f);
+  Tensor fused = ops::bias_gelu(x, bias);
+  Tensor composed = ops::gelu(ops::add_bias(x, bias));
+  // Same formula, differently compiled TUs (kernels.cpp has its own
+  // codegen flags) — tolerance, not bitwise.
+  EXPECT_TRUE(fused.allclose(composed, 1e-5f, 1e-6f));
+}
+
+TEST(KernelFused, BiasGeluGradMatchesComposedOps) {
+  Rng rng(52);
+  const int64_t rows = 37, h = 65;
+  Tensor x = Tensor::randn(Shape{{rows, h}}, rng);
+  Tensor bias = Tensor::randn(Shape{{h}}, rng, 0.5f);
+  Tensor dy = Tensor::randn(Shape{{rows, h}}, rng);
+  ops::BiasGeluGrads g = ops::bias_gelu_grad(x, bias, dy);
+  Tensor dx_composed = ops::gelu_grad(ops::add_bias(x, bias), dy);
+  Tensor dbias_composed = ops::sum_to_last_dim(dx_composed);
+  EXPECT_TRUE(g.dx.allclose(dx_composed, 1e-5f, 1e-6f));
+  EXPECT_TRUE(g.dbias.allclose(dbias_composed, 1e-4f, 1e-5f));
+}
+
+TEST(KernelFused, ScaledSoftmaxMatchesComposedOps) {
+  Rng rng(53);
+  const float alpha = 0.35f;
+  Tensor x = Tensor::randn(Shape{{6, 17, 17}}, rng);
+  for (bool causal : {false, true}) {
+    Tensor fused = ops::scaled_softmax(x, alpha, causal);
+    Tensor composed = ops::softmax_lastdim(ops::scale(x, alpha), causal);
+    EXPECT_TRUE(fused.allclose(composed, 1e-5f, 1e-6f)) << "causal=" << causal;
+  }
+}
+
+TEST(KernelFused, ScaledSoftmaxGradMatchesComposedOps) {
+  Rng rng(54);
+  const float alpha = 0.35f;
+  Tensor x = Tensor::randn(Shape{{6, 17, 17}}, rng);
+  Tensor dy = Tensor::randn(Shape{{6, 17, 17}}, rng);
+  Tensor y = ops::scaled_softmax(x, alpha, /*causal=*/false);
+  Tensor fused = ops::scaled_softmax_grad(y, dy, alpha);
+  // d/dx softmax(alpha x) = alpha * softmax_grad evaluated at y.
+  Tensor composed = ops::scale(ops::softmax_lastdim_grad(y, dy), alpha);
+  EXPECT_TRUE(fused.allclose(composed, 1e-5f, 1e-6f));
+}
+
+TEST(KernelFused, AutogradBiasGeluMatchesComposedGraph) {
+  Rng rng(55);
+  const int64_t rows = 16, h = 24;
+  Tensor xv = Tensor::randn(Shape{{rows, h}}, rng);
+  Tensor bv = Tensor::randn(Shape{{h}}, rng, 0.5f);
+  Tensor dy = Tensor::randn(Shape{{rows, h}}, rng);
+
+  ag::Var x1(xv.clone(), true);
+  ag::Var b1 = ag::Var::param(bv.clone(), "bias");
+  ag::Var y1 = ag::bias_gelu(x1, b1);
+  ag::backward(y1, dy);
+
+  ag::Var x2(xv.clone(), true);
+  ag::Var b2 = ag::Var::param(bv.clone(), "bias");
+  ag::Var y2 = ag::gelu(ag::add_bias(x2, b2));
+  ag::backward(y2, dy);
+
+  EXPECT_TRUE(y1.value().allclose(y2.value(), 1e-5f, 1e-6f));
+  EXPECT_TRUE(x1.grad().allclose(x2.grad(), 1e-5f, 1e-6f));
+  EXPECT_TRUE(b1.grad().allclose(b2.grad(), 1e-4f, 1e-5f));
+}
+
+TEST(KernelFused, AutogradScaledSoftmaxMatchesComposedGraph) {
+  Rng rng(56);
+  const float alpha = 0.25f;
+  Tensor xv = Tensor::randn(Shape{{4, 9, 9}}, rng);
+  Tensor dy = Tensor::randn(Shape{{4, 9, 9}}, rng);
+  for (bool causal : {false, true}) {
+    ag::Var x1(xv.clone(), true);
+    ag::Var y1 = ag::scaled_softmax(x1, alpha, causal);
+    ag::backward(y1, dy);
+
+    ag::Var x2(xv.clone(), true);
+    ag::Var y2 = ag::softmax(ag::scale(x2, alpha), causal);
+    ag::backward(y2, dy);
+
+    EXPECT_TRUE(y1.value().allclose(y2.value(), 1e-5f, 1e-6f))
+        << "causal=" << causal;
+    EXPECT_TRUE(x1.grad().allclose(x2.grad(), 1e-5f, 1e-6f))
+        << "causal=" << causal;
+  }
+}
+
+// ------------------------------------------------- layout fast paths
+
+TEST(KernelLayout, SbhTransposesMatchGenericPermute) {
+  Rng rng(61);
+  const int64_t s = 10, b = 3, heads = 4, d = 7;
+  Tensor x = Tensor::randn(Shape{{s, b, heads * d}}, rng);
+  Tensor fast = ops::sbh_to_bhsd(x, heads);
+  // Composed path: [s,b,heads,d] -> permute {1,2,0,3} -> [b*heads,s,d].
+  Tensor slow = ops::permute(x.reshape(Shape{{s, b, heads, d}}), {1, 2, 0, 3})
+                    .reshape(Shape{{b * heads, s, d}});
+  ASSERT_EQ(fast.shape().str(), slow.shape().str());
+  EXPECT_EQ(0, std::memcmp(fast.data(), slow.data(),
+                           sizeof(float) * static_cast<size_t>(fast.numel())));
+
+  Tensor back = ops::bhsd_to_sbh(fast, heads);
+  ASSERT_EQ(back.shape().str(), x.shape().str());
+  EXPECT_EQ(0, std::memcmp(back.data(), x.data(),
+                           sizeof(float) * static_cast<size_t>(x.numel())));
+}
+
+// ------------------------------------------ end-to-end training parity
+
+// One t=2, p=2 (SP + selective recompute) training run; returns every
+// step's loss from rank 0. Same construction as test_analysis's
+// harness so the kernel substrate is exercised under checkpoint
+// replay, pipelining, and both parallelisms at once.
+std::vector<float> train_t2p2_losses(int steps) {
+  model::ModelConfig cfg = model::ModelConfig::tiny(2, 4);
+  cfg.p = 2;
+  cfg.sequence_parallel = true;
+  cfg.recompute = core::Recompute::kSelective;
+  cfg.global_batch = 4 * cfg.b;
+  cfg.validate();
+
+  Rng rng(2026);
+  std::vector<std::vector<int64_t>> tokens, targets;
+  for (int64_t mb = 0; mb < cfg.total_microbatches(); ++mb) {
+    std::vector<int64_t> tok(static_cast<size_t>(cfg.s * cfg.b));
+    std::vector<int64_t> tgt(tok.size());
+    for (auto& x : tok)
+      x = static_cast<int64_t>(rng.next_below(static_cast<uint64_t>(cfg.v)));
+    for (auto& x : tgt)
+      x = static_cast<int64_t>(rng.next_below(static_cast<uint64_t>(cfg.v)));
+    tokens.push_back(std::move(tok));
+    targets.push_back(std::move(tgt));
+  }
+
+  std::vector<float> losses;
+  spmd::run(cfg.t * cfg.p * cfg.d, [&](comm::Comm& c) {
+    MemoryTracker::instance().reset();
+    pipeline::PipelineEngine engine(cfg, c);
+    optim::Sgd opt(engine.params(), 0.05f);
+    std::vector<float> local;
+    for (int step = 0; step < steps; ++step) {
+      opt.zero_grad();
+      auto stats = engine.run_iteration(tokens, targets, step);
+      opt.step();
+      local.push_back(stats.loss);
+    }
+    if (c.rank() == 0) losses = local;
+  });
+  return losses;
+}
+
+TEST(KernelTraining, BlockedPathTracksReferencePath) {
+  const int steps = 4;
+  std::vector<float> ref;
+  {
+    ScopedEnv env("MLS_KERNEL_REF", "1");
+    ref = train_t2p2_losses(steps);
+  }
+  const std::vector<float> got = train_t2p2_losses(steps);
+  ASSERT_EQ(ref.size(), got.size());
+  for (size_t i = 0; i < ref.size(); ++i) {
+    // Different accumulation orders diverge slowly over steps; same
+    // budget as test_core's serial-vs-parallel equivalence.
+    EXPECT_NEAR(ref[i], got[i], 2e-3f * (1.0f + static_cast<float>(i)))
+        << "step " << i;
+  }
+}
+
+TEST(KernelTraining, ThreadedTrainingIsBitIdentical) {
+  // Intra-op workers never change the k-reduction order, so a full
+  // training run (GEMMs, fused ops, checkpoint replays, collectives)
+  // is bit-identical at any MLS_KERNEL_THREADS.
+  const int steps = 3;
+  const std::vector<float> one = train_t2p2_losses(steps);
+  std::vector<float> four;
+  {
+    ScopedEnv env("MLS_KERNEL_THREADS", "4");
+    four = train_t2p2_losses(steps);
+  }
+  ASSERT_EQ(one.size(), four.size());
+  for (size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i], four[i]) << "step " << i;  // bitwise
+  }
+}
+
+}  // namespace
+}  // namespace mls
