@@ -20,6 +20,11 @@
 // Section 3 re-runs the Section-1 overlapped backward with the
 // collective-correctness analyzer (ledger validation + hang watchdog)
 // switched on and guards its overhead below 2%.
+//
+// Section 4 does the same for the fault-injection plane: disarmed (the
+// production state — every hook is one relaxed atomic load) the
+// overhead must stay under 1%; armed with an inert plan it stays cheap
+// too (a mutex + event scan per comm op).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -28,6 +33,8 @@
 
 #include "analysis/ledger.h"
 #include "autograd/engine.h"
+#include "fault/inject.h"
+#include "fault/plan.h"
 #include "comm/spmd.h"
 #include "common/table.h"
 #include "common/units.h"
@@ -225,5 +232,36 @@ int main() {
       "%s: the always-on ledger costs %s 2%% of the overlapped backward.\n",
       overhead < 0.02 ? "OK" : "UNEXPECTED",
       overhead < 0.02 ? "under" : "MORE than");
+
+  // --- Section 4: fault-hook overhead guard -----------------------------
+  std::printf(
+      "\n=== Fault-plane overhead: Section-1 overlapped backward with the\n"
+      "fault hooks disarmed vs armed with an inert plan ===\n\n");
+  // The hooks are compiled into every build, so "hook-free" cannot be
+  // measured directly. Instead guard the upper bound: an armed hook does
+  // strictly more work than a disarmed one (the same atomic load PLUS a
+  // locked plan scan per comm op), so armed-with-a-plan-that-never-fires
+  // staying within 1% of disarmed bounds the disarmed cost below 1% too.
+  const Run disarmed = measure(/*overlap=*/true, guard_lat);
+  Run rearmed;
+  {
+    // A plan that can never fire: a rank and step this bench never
+    // reaches. Every comm op still walks the full armed slow path.
+    fault::ScopedPlan armed_plan(
+        fault::FaultPlan::parse("crash@r99:step=999999"));
+    rearmed = measure(/*overlap=*/true, guard_lat);
+  }
+  const double armed_overhead =
+      (rearmed.bwd_seconds - disarmed.bwd_seconds) / disarmed.bwd_seconds;
+  std::printf("disarmed: %s   armed(inert): %s   armed-vs-disarmed: %+.2f%%\n",
+              format_time_ms(disarmed.bwd_seconds).c_str(),
+              format_time_ms(rearmed.bwd_seconds).c_str(),
+              100.0 * armed_overhead);
+  std::printf(
+      "%s: the fault plane (even armed) costs %s 1%% of the overlapped "
+      "backward,\nso the disarmed single-atomic-load fast path is below "
+      "that bound.\n",
+      armed_overhead < 0.01 ? "OK" : "UNEXPECTED",
+      armed_overhead < 0.01 ? "under" : "MORE than");
   return 0;
 }

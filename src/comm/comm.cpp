@@ -18,11 +18,37 @@
 #include "analysis/watchdog.h"
 #include "comm/barrier.h"
 #include "common/check.h"
+#include "fault/inject.h"
 #include "memory/pool_allocator.h"
 #include "runtime/stream.h"
 #include "tensor/ops.h"
 
 namespace mls::comm {
+
+// First-failure record shared by a whole communicator hierarchy: the
+// root World creates it and every split() descendant aliases it, so no
+// matter which group a failure surfaces in (a watchdog on the tp group,
+// a crash fanned out from the world), the FIRST reason recorded is the
+// root cause and survives for recovery logs (Comm::poison_reason,
+// CommHandle::wait).
+struct PoisonState {
+  mutable std::mutex mu;
+  bool poisoned = false;
+  std::string reason;
+
+  void set(const std::string& r) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!poisoned) {
+      poisoned = true;
+      reason = r;
+    }
+  }
+  // "" while healthy.
+  std::string first_reason() const {
+    std::lock_guard<std::mutex> lock(mu);
+    return poisoned ? reason : std::string();
+  }
+};
 
 // Shared state of one communicator. All rank threads hold the same
 // World via shared_ptr; per-collective staging goes through `bufs`.
@@ -57,6 +83,9 @@ class World {
   const int size;
   const std::string name;           // analyzer group label
   const analysis::Options opts;     // inherited by split() children
+  // Created fresh by create_group; split() re-points children at the
+  // parent's so the hierarchy shares one first-failure record.
+  std::shared_ptr<PoisonState> poison_state = std::make_shared<PoisonState>();
   // Null unless the analyzer is on; outlives `streams` (declared below)
   // because draining comm-stream tasks still record into it.
   std::shared_ptr<analysis::Ledger> ledger;
@@ -84,6 +113,7 @@ class World {
   }
 
   void poison(const std::string& reason = "another rank failed") {
+    poison_state->set(reason);
     barrier.poison(reason);
     mailbox.poison(reason);
     std::lock_guard<std::mutex> lock(split_mu);
@@ -108,6 +138,9 @@ struct CommHandle::State {
   bool done = false;
   std::exception_ptr err;
   Tensor result;
+  // The hierarchy's first-failure record; lets wait() surface the root
+  // cause instead of this op's secondary fan-out error.
+  std::shared_ptr<const PoisonState> poison;
   // True once the owner acknowledged completion (wait / result /
   // abandon). The handle registry audits this at communicator teardown.
   std::atomic<bool> settled{false};
@@ -222,7 +255,24 @@ void CommHandle::wait() {
   std::unique_lock<std::mutex> lock(state_->mu);
   state_->cv.wait(lock, [&] { return state_->done; });
   state_->settled.store(true, std::memory_order_relaxed);
-  if (state_->err) std::rethrow_exception(state_->err);
+  if (!state_->err) return;
+  // If the hierarchy recorded a root cause and this op's own error is a
+  // secondary fan-out ("another rank failed"), surface the root cause —
+  // recovery decisions key off the FIRST failure, not the loudest one.
+  const std::string first =
+      state_->poison ? state_->poison->first_reason() : std::string();
+  if (!first.empty()) {
+    try {
+      std::rethrow_exception(state_->err);
+    } catch (const std::exception& e) {
+      if (std::string(e.what()).find(first) == std::string::npos) {
+        throw Error("nonblocking operation failed; first failure: " + first +
+                    " (this op: " + e.what() + ")");
+      }
+      throw;
+    }
+  }
+  std::rethrow_exception(state_->err);
 }
 
 Tensor CommHandle::result() {
@@ -258,6 +308,7 @@ int Comm::size() const { return world_ ? world_->size : 1; }
 
 void Comm::barrier() {
   MLS_CHECK(valid());
+  fault::on_comm("barrier");
   OpScope scope(world_->ledger, rank_,
                 {.kind = analysis::OpKind::kBarrier});
   world_->barrier.arrive_and_wait();
@@ -332,6 +383,7 @@ void Comm::set_injected_comm_latency(double sec_per_byte, double sec_fixed) {
 
 void Comm::all_reduce(Tensor& t, ReduceOp op) {
   MLS_CHECK(valid());
+  fault::on_comm("all_reduce");
   OpScope scope(world_->ledger, rank_,
                 {.kind = analysis::OpKind::kAllReduce,
                  .reduce_op = static_cast<int>(op),
@@ -355,6 +407,7 @@ Tensor Comm::all_gather(const Tensor& shard, int dim) {
   // Record the normalized axis so -1 vs. explicit trailing-dim callers
   // don't produce a spurious cross-rank mismatch.
   dim = shard.shape().normalize_axis(dim);
+  fault::on_comm("all_gather");
   OpScope scope(world_->ledger, rank_,
                 {.kind = analysis::OpKind::kAllGather,
                  .dtype = static_cast<int>(shard.dtype()),
@@ -395,6 +448,7 @@ Tensor Comm::all_gather(const Tensor& shard, int dim) {
 Tensor Comm::reduce_scatter(const Tensor& full, int dim) {
   MLS_CHECK(valid());
   dim = full.shape().normalize_axis(dim);
+  fault::on_comm("reduce_scatter");
   OpScope scope(world_->ledger, rank_,
                 {.kind = analysis::OpKind::kReduceScatter,
                  .dtype = static_cast<int>(full.dtype()),
@@ -441,6 +495,7 @@ Tensor Comm::reduce_scatter(const Tensor& full, int dim) {
 
 void Comm::broadcast(Tensor& t, int root) {
   MLS_CHECK(valid());
+  fault::on_comm("broadcast");
   OpScope scope(world_->ledger, rank_,
                 {.kind = analysis::OpKind::kBroadcast,
                  .dtype = static_cast<int>(t.dtype()),
@@ -460,6 +515,7 @@ void Comm::broadcast(Tensor& t, int root) {
 
 Comm Comm::split(int color) const {
   MLS_CHECK(valid());
+  fault::on_comm("split");
   // Split colors legitimately differ per rank; records_match only
   // checks that every rank is in fact splitting (vs. some other op).
   OpScope scope(world_->ledger, rank_,
@@ -485,6 +541,8 @@ Comm Comm::split(int color) const {
     auto sub = std::make_shared<World>(static_cast<int>(members.size()),
                                        world_->name + "/c" + std::to_string(color),
                                        world_->opts);
+    // One first-failure record per hierarchy (see PoisonState).
+    sub->poison_state = world_->poison_state;
     std::lock_guard<std::mutex> lock(world_->split_mu);
     world_->pending_splits[color] = sub;
     world_->children.push_back(sub);
@@ -511,6 +569,7 @@ Comm Comm::split(int color) const {
 
 void Comm::send(int dst, int tag, const Tensor& t) {
   MLS_CHECK(valid());
+  fault::on_comm("send");
   // p2p events are flight-recorded (peer / tag / bytes / site) but
   // never cross-rank validated: send/recv pairing is asymmetric.
   OpScope scope(world_->ledger, rank_,
@@ -527,6 +586,7 @@ void Comm::send(int dst, int tag, const Tensor& t) {
 
 Tensor Comm::recv(int src, int tag) {
   MLS_CHECK(valid());
+  fault::on_comm("recv");
   // count is unknown until the message lands; the flight recorder
   // shows a blocked recv as "recv(count=0, ...) [in flight]".
   OpScope scope(world_->ledger, rank_,
@@ -542,6 +602,7 @@ CommHandle Comm::launch(std::function<Tensor(Comm&)> op, const char* what) {
   MLS_CHECK(valid());
   CommHandle h;
   h.state_ = std::make_shared<CommHandle::State>();
+  h.state_->poison = world_->poison_state;
   auto state = h.state_;
   // The task's rank alias must NOT own the World: the World owns the
   // stream that owns the task, and an owning capture would keep the
@@ -566,10 +627,17 @@ CommHandle Comm::launch(std::function<Tensor(Comm&)> op, const char* what) {
   // arena's cross-thread free queue.
   std::shared_ptr<memory::PoolAllocator> arena =
       memory::PoolAllocator::current();
+  // The comm-stream worker has no fault context of its own; carry the
+  // issuing thread's (world rank, step) over so plan matching sees the
+  // same identity on both execution paths. Disarmed cost: one load.
+  const int f_rank = fault::armed() ? fault::current_rank() : -1;
+  const int64_t f_step = fault::armed() ? fault::current_step() : -1;
   world_->comm_stream(rank_).enqueue(
-      [state, alias, site, arena = std::move(arena),
+      [state, alias, site, f_rank, f_step, arena = std::move(arena),
        op = std::move(op)]() mutable {
         memory::ArenaGuard arena_guard(std::move(arena));
+        std::optional<fault::TrainScope> fscope;
+        if (f_rank != -1 || f_step != -1) fscope.emplace(f_rank, f_step);
         std::optional<analysis::SiteGuard> guard;
         if (site) guard.emplace(site);
         Tensor result;
@@ -642,6 +710,20 @@ CommHandle Comm::irecv(int src, int tag) {
 
 void Comm::poison(const std::string& reason) {
   if (world_) world_->poison(reason);
+}
+
+std::string Comm::poison_reason() const {
+  return world_ ? world_->poison_state->first_reason() : std::string();
+}
+
+void Comm::drain() {
+  if (!world_) return;
+  // Each task's error (if any) was already captured into its own
+  // CommHandle; here we only need quiescence, so swallow the rethrow.
+  try {
+    world_->comm_stream(rank_).synchronize();
+  } catch (...) {
+  }
 }
 
 }  // namespace mls::comm

@@ -138,6 +138,18 @@ class Comm {
   // (a collective-mismatch report, a watchdog dump) survives fan-out.
   void poison(const std::string& reason = "another rank failed");
 
+  // The FIRST poison reason recorded anywhere in this communicator's
+  // hierarchy (parent or any split descendant), or "" when healthy.
+  // Elastic recovery logs this as the root cause; secondary "another
+  // rank failed" fan-out errors never overwrite it.
+  std::string poison_reason() const;
+
+  // Blocks until every task already enqueued on this rank's comm stream
+  // has finished, swallowing their errors (each nonblocking op delivers
+  // its own error through its CommHandle). Elastic recovery calls this
+  // to quiesce in-flight i* operations before tearing a world down.
+  void drain();
+
  private:
   Comm(std::shared_ptr<World> world, int rank);
 

@@ -7,11 +7,14 @@
 #include <vector>
 
 #include "common/check.h"
+#include "fault/inject.h"
 
 namespace mls::spmd {
 
 void run(int world_size, const RankFn& fn) {
   MLS_CHECK_GE(world_size, 1);
+  // MLS_FAULT_PLAN works on any SPMD program, not just run_resilient.
+  fault::maybe_arm_from_env();
   auto comms = comm::Comm::create_group(world_size);
 
   std::mutex err_mu;

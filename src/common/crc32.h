@@ -1,0 +1,57 @@
+// CRC-32 (IEEE 802.3, the zlib polynomial), table-driven and
+// incremental. Checkpoint shards append a CRC trailer so a torn or
+// bit-flipped file is detected at restore time instead of silently
+// corrupting a resumed run (DESIGN.md §10).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace mls {
+
+namespace detail {
+
+inline const std::array<uint32_t, 256>& crc32_table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+// Accumulates the checksum over any number of update() calls; value()
+// may be read at any point (it does not reset the state).
+class Crc32 {
+ public:
+  void update(const void* data, size_t bytes) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    const auto& table = detail::crc32_table();
+    uint32_t c = state_;
+    for (size_t i = 0; i < bytes; ++i) {
+      c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    }
+    state_ = c;
+  }
+  uint32_t value() const { return state_ ^ 0xffffffffu; }
+
+ private:
+  uint32_t state_ = 0xffffffffu;
+};
+
+inline uint32_t crc32(const void* data, size_t bytes) {
+  Crc32 c;
+  c.update(data, bytes);
+  return c.value();
+}
+
+}  // namespace mls

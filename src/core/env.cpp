@@ -60,6 +60,11 @@ double Env::real(const char* name, double def) {
   return (end && *end == '\0' && end != v->c_str()) ? parsed : def;
 }
 
+std::string Env::str(const char* name, const std::string& def) {
+  const auto v = lookup(name);
+  return v ? *v : def;
+}
+
 void Env::set(const std::string& name, const std::string& value) {
   std::lock_guard<std::mutex> lock(g_mu);
   overrides()[name] = value;

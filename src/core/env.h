@@ -21,6 +21,7 @@ struct Env {
   static bool flag(const char* name, bool def);
   static int64_t integer(const char* name, int64_t def);
   static double real(const char* name, double def);
+  static std::string str(const char* name, const std::string& def);
   // Test-only overrides; shadow getenv until cleared.
   static void set(const std::string& name, const std::string& value);
   static void clear(const std::string& name);

@@ -1,0 +1,282 @@
+#include "fault/inject.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/ledger.h"
+#include "common/check.h"
+#include "core/env.h"
+
+namespace mls::fault {
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+namespace {
+
+// Armed plan + firing state. Accessed only on the slow path (armed());
+// the shared_ptr indirection keeps a disarm racing a late hook safe.
+struct Injector {
+  FaultPlan plan;
+  std::vector<bool> spent;       // one-shot events already fired
+  std::vector<int> fails_left;   // transient failure countdowns
+
+  explicit Injector(FaultPlan p) : plan(std::move(p)) {
+    spent.assign(plan.events.size(), false);
+    fails_left.assign(plan.events.size(), 0);
+    for (size_t i = 0; i < plan.events.size(); ++i) {
+      fails_left[i] = plan.events[i].fails;
+    }
+  }
+};
+
+std::mutex g_mu;
+std::shared_ptr<Injector> g_injector;
+
+std::shared_ptr<Injector> current_injector() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_injector;
+}
+
+void arm(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  MLS_CHECK(!g_injector) << "a fault plan is already armed";
+  g_injector = std::make_shared<Injector>(std::move(plan));
+  detail::g_armed.store(true, std::memory_order_release);
+}
+
+void disarm() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  detail::g_armed.store(false, std::memory_order_release);
+  g_injector.reset();
+}
+
+thread_local int t_rank = -1;
+thread_local int64_t t_step = -1;
+
+// True when the event targets this (rank, step) and — for events with a
+// site — the site substring appears in the op name or the live
+// SiteGuard tag.
+bool context_matches(const FaultEvent& e, int rank, int64_t step,
+                     const char* what) {
+  if (e.rank >= 0 && e.rank != rank) return false;
+  if (e.step >= 0 && e.step != step) return false;
+  if (!e.site.empty()) {
+    const char* tag = analysis::SiteGuard::current();
+    const bool in_what =
+        what != nullptr && std::strstr(what, e.site.c_str()) != nullptr;
+    const bool in_tag =
+        tag != nullptr && std::strstr(tag, e.site.c_str()) != nullptr;
+    if (!in_what && !in_tag) return false;
+  }
+  return true;
+}
+
+std::string describe(int rank, int64_t step, const char* what) {
+  std::string s = "rank " + std::to_string(rank);
+  if (step >= 0) s += " at step " + std::to_string(step);
+  if (what != nullptr) s += std::string(" (") + what + ")";
+  return s;
+}
+
+// Shared body of the comm/io hooks: crash and stall events fire first,
+// then transient failures run the retry loop.
+void op_hook(Injector& inj, int rank, int64_t step, const char* what) {
+  // ---- crash / stall (one-shot) -------------------------------------
+  double stall_sec = 0;
+  std::string crash_msg;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    for (size_t i = 0; i < inj.plan.events.size(); ++i) {
+      auto& e = inj.plan.events[i];
+      if (inj.spent[i] || !context_matches(e, rank, step, what)) continue;
+      if (e.kind == FaultKind::kCrash) {
+        inj.spent[i] = true;
+        crash_msg = "injected crash: " + describe(rank, step, what);
+        break;
+      }
+      if (e.kind == FaultKind::kStall) {
+        inj.spent[i] = true;
+        stall_sec = e.stall_sec;
+        break;
+      }
+    }
+  }
+  if (!crash_msg.empty()) {
+    std::fprintf(stderr, "[fault] %s\n", crash_msg.c_str());
+    throw Error(crash_msg);
+  }
+  if (stall_sec > 0) {
+    std::fprintf(stderr, "[fault] rank %d stalling %.2f s before %s\n", rank,
+                 stall_sec, what != nullptr ? what : "?");
+    std::this_thread::sleep_for(std::chrono::duration<double>(stall_sec));
+  }
+
+  // ---- transient failures, retried with bounded backoff -------------
+  const int max_retries =
+      static_cast<int>(core::Env::integer("MLS_FAULT_RETRIES", 3));
+  const double backoff_base =
+      core::Env::real("MLS_FAULT_BACKOFF_MS", 2.0) * 1e-3;
+  for (int attempt = 0;; ++attempt) {
+    bool failed = false;
+    {
+      std::lock_guard<std::mutex> lock(g_mu);
+      for (size_t i = 0; i < inj.plan.events.size(); ++i) {
+        auto& e = inj.plan.events[i];
+        if (inj.spent[i] || e.kind != FaultKind::kTransient) continue;
+        if (!context_matches(e, rank, step, what)) continue;
+        if (inj.fails_left[i] <= 0) continue;
+        --inj.fails_left[i];
+        if (inj.fails_left[i] == 0) inj.spent[i] = true;
+        failed = true;
+        break;
+      }
+    }
+    if (!failed) return;  // op launch succeeded
+    std::fprintf(stderr,
+                 "[fault] transient comm fault: %s, attempt %d/%d\n",
+                 describe(rank, step, what).c_str(), attempt + 1,
+                 max_retries + 1);
+    if (attempt >= max_retries) {
+      // Spend whatever failures remain so the event does not re-fire on
+      // the recovered run: the link flapped, then came back.
+      {
+        std::lock_guard<std::mutex> lock(g_mu);
+        for (size_t i = 0; i < inj.plan.events.size(); ++i) {
+          auto& e = inj.plan.events[i];
+          if (e.kind == FaultKind::kTransient &&
+              context_matches(e, rank, step, what)) {
+            inj.spent[i] = true;
+          }
+        }
+      }
+      throw Error("transient comm fault persisted past " +
+                  std::to_string(max_retries + 1) + " attempts: " +
+                  describe(rank, step, what));
+    }
+    const double delay = backoff_base * static_cast<double>(1 << attempt);
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+  }
+}
+
+}  // namespace
+
+ScopedPlan::ScopedPlan(FaultPlan plan) { arm(std::move(plan)); }
+ScopedPlan::~ScopedPlan() { disarm(); }
+
+bool maybe_arm_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    if (armed()) return;
+    const std::string spec = core::Env::str("MLS_FAULT_PLAN", "");
+    if (spec.empty()) return;
+    FaultPlan plan = FaultPlan::parse(spec);
+    if (plan.empty()) return;
+    std::fprintf(stderr, "[fault] armed from MLS_FAULT_PLAN: %s\n",
+                 plan.str().c_str());
+    arm(std::move(plan));
+  });
+  return armed();
+}
+
+int current_rank() { return t_rank; }
+int64_t current_step() { return t_step; }
+
+TrainScope::TrainScope(int world_rank, int64_t step)
+    : prev_rank_(t_rank), prev_step_(t_step) {
+  t_rank = world_rank;
+  t_step = step;
+}
+
+TrainScope::~TrainScope() {
+  t_rank = prev_rank_;
+  t_step = prev_step_;
+}
+
+namespace detail {
+
+void on_step_slow(int world_rank, int64_t step) {
+  auto inj = current_injector();
+  if (!inj) return;
+  // Only site-less events fire at the step boundary; sited ones wait
+  // for their op.
+  std::string crash_msg;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    for (size_t i = 0; i < inj->plan.events.size(); ++i) {
+      auto& e = inj->plan.events[i];
+      if (inj->spent[i] || e.kind != FaultKind::kCrash || !e.site.empty()) {
+        continue;
+      }
+      if (!context_matches(e, world_rank, step, nullptr)) continue;
+      inj->spent[i] = true;
+      crash_msg = "injected crash: " + describe(world_rank, step, "step entry");
+      break;
+    }
+  }
+  if (!crash_msg.empty()) {
+    std::fprintf(stderr, "[fault] %s\n", crash_msg.c_str());
+    throw Error(crash_msg);
+  }
+}
+
+void on_comm_slow(const char* what) {
+  auto inj = current_injector();
+  if (!inj) return;
+  op_hook(*inj, t_rank, t_step, what);
+}
+
+void on_io_slow(int world_rank, const char* what) {
+  auto inj = current_injector();
+  if (!inj) return;
+  op_hook(*inj, world_rank, t_step, what);
+}
+
+void on_shard_committed_slow(int world_rank, int64_t gen, const char* path) {
+  auto inj = current_injector();
+  if (!inj) return;
+  bool corrupt = false;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    for (size_t i = 0; i < inj->plan.events.size(); ++i) {
+      auto& e = inj->plan.events[i];
+      if (inj->spent[i] || e.kind != FaultKind::kCorrupt) continue;
+      if (e.rank >= 0 && e.rank != world_rank) continue;
+      if (e.gen >= 0 && e.gen != gen) continue;
+      inj->spent[i] = true;
+      corrupt = true;
+      break;
+    }
+  }
+  if (!corrupt) return;
+  // Flip a burst of bytes in the middle of the shard — past the header,
+  // inside some tensor payload — exactly the damage the CRC trailer and
+  // generation fallback exist to survive.
+  std::FILE* f = std::fopen(path, "r+b");
+  MLS_CHECK(f != nullptr) << "fault corrupt: cannot open " << path;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  const long ofs = size / 2;
+  std::fseek(f, ofs, SEEK_SET);
+  unsigned char buf[32] = {};
+  const size_t n = std::fread(buf, 1, sizeof(buf), f);
+  for (size_t i = 0; i < n; ++i) buf[i] ^= 0x5a;
+  std::fseek(f, ofs, SEEK_SET);
+  MLS_CHECK_EQ(std::fwrite(buf, 1, n, f), n) << "fault corrupt: short write";
+  std::fclose(f);
+  std::fprintf(stderr,
+               "[fault] corrupted checkpoint shard: rank %d gen %lld, %zu "
+               "bytes flipped at offset %ld of %s\n",
+               world_rank, static_cast<long long>(gen), n, ofs, path);
+}
+
+}  // namespace detail
+
+}  // namespace mls::fault

@@ -1,0 +1,199 @@
+#include "fault/plan.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace mls::fault {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kTransient:
+      return "transient";
+    case FaultKind::kStall:
+      return "stall";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+  }
+  return "?";
+}
+
+std::string FaultEvent::str() const {
+  std::ostringstream os;
+  os << fault_kind_name(kind) << "@r";
+  if (rank < 0) {
+    os << "*";
+  } else {
+    os << rank;
+  }
+  if (step >= 0) os << ":step=" << step;
+  if (!site.empty()) os << ":site=" << site;
+  if (kind == FaultKind::kTransient) os << ":fails=" << fails;
+  if (kind == FaultKind::kStall) os << ":sec=" << stall_sec;
+  if (kind == FaultKind::kCorrupt && gen >= 0) os << ":gen=" << gen;
+  return os.str();
+}
+
+std::string FaultPlan::str() const {
+  std::string s;
+  for (const auto& e : events) {
+    if (!s.empty()) s += ";";
+    s += e.str();
+  }
+  return s;
+}
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+int64_t parse_int(const std::string& tok, const std::string& what) {
+  size_t pos = 0;
+  int64_t v = 0;
+  try {
+    v = std::stoll(tok, &pos);
+  } catch (...) {
+    pos = 0;
+  }
+  MLS_CHECK(pos == tok.size() && !tok.empty())
+      << "fault plan: bad integer '" << tok << "' in " << what;
+  return v;
+}
+
+double parse_real(const std::string& tok, const std::string& what) {
+  size_t pos = 0;
+  double v = 0;
+  try {
+    v = std::stod(tok, &pos);
+  } catch (...) {
+    pos = 0;
+  }
+  MLS_CHECK(pos == tok.size() && !tok.empty())
+      << "fault plan: bad number '" << tok << "' in " << what;
+  return v;
+}
+
+FaultEvent parse_event(const std::string& spec) {
+  const auto fields = split(spec, ':');
+  const auto head = split(fields[0], '@');
+  MLS_CHECK_EQ(head.size(), 2u)
+      << "fault plan: event '" << spec << "' is not <kind>@r<rank>[:k=v]...";
+  FaultEvent e;
+  if (head[0] == "crash") {
+    e.kind = FaultKind::kCrash;
+  } else if (head[0] == "transient") {
+    e.kind = FaultKind::kTransient;
+  } else if (head[0] == "stall") {
+    e.kind = FaultKind::kStall;
+  } else if (head[0] == "corrupt") {
+    e.kind = FaultKind::kCorrupt;
+  } else {
+    MLS_CHECK(false) << "fault plan: unknown kind '" << head[0] << "' in '"
+                     << spec << "'";
+  }
+  MLS_CHECK(head[1].size() >= 2 && head[1][0] == 'r')
+      << "fault plan: bad rank '" << head[1] << "' in '" << spec << "'";
+  const std::string rank_tok = head[1].substr(1);
+  e.rank = rank_tok == "*" ? -1 : static_cast<int>(parse_int(rank_tok, spec));
+
+  for (size_t i = 1; i < fields.size(); ++i) {
+    const size_t eq = fields[i].find('=');
+    MLS_CHECK(eq != std::string::npos)
+        << "fault plan: '" << fields[i] << "' in '" << spec << "' is not k=v";
+    const std::string key = fields[i].substr(0, eq);
+    const std::string val = fields[i].substr(eq + 1);
+    if (key == "step") {
+      e.step = parse_int(val, spec);
+    } else if (key == "site") {
+      e.site = val;
+    } else if (key == "fails") {
+      e.fails = static_cast<int>(parse_int(val, spec));
+      MLS_CHECK_GE(e.fails, 1) << "in '" << spec << "'";
+    } else if (key == "sec") {
+      e.stall_sec = parse_real(val, spec);
+    } else if (key == "gen") {
+      e.gen = parse_int(val, spec);
+    } else {
+      MLS_CHECK(false) << "fault plan: unknown key '" << key << "' in '"
+                       << spec << "'";
+    }
+  }
+  return e;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  for (const auto& part : split(spec, ';')) {
+    if (part.empty()) continue;
+    plan.events.push_back(parse_event(part));
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::chaos(uint64_t seed, int world_size, int64_t steps) {
+  MLS_CHECK_GE(world_size, 1);
+  MLS_CHECK_GE(steps, 1);
+  Rng rng(seed);
+  FaultPlan plan;
+
+  auto any_rank = [&] { return static_cast<int>(rng.next_below(static_cast<uint64_t>(world_size))); };
+  auto any_step = [&] { return static_cast<int64_t>(rng.next_below(static_cast<uint64_t>(steps))); };
+
+  // One guaranteed crash…
+  FaultEvent crash;
+  crash.kind = FaultKind::kCrash;
+  crash.rank = any_rank();
+  crash.step = any_step();
+  plan.events.push_back(crash);
+  // …sometimes a second one at a different step.
+  if (rng.next_uniform() < 0.3) {
+    FaultEvent again = crash;
+    again.rank = any_rank();
+    again.step = (crash.step + 1 + static_cast<int64_t>(rng.next_below(
+                                       static_cast<uint64_t>(steps)))) %
+                 steps;
+    plan.events.push_back(again);
+  }
+  // A transient collective fault; fails ≤ 2 stays inside the default
+  // retry budget about half the time, so both the retry-success and the
+  // hard-fault path get exercised across seeds.
+  if (rng.next_uniform() < 0.6) {
+    FaultEvent t;
+    t.kind = FaultKind::kTransient;
+    t.rank = any_rank();
+    t.step = any_step();
+    t.fails = 1 + static_cast<int>(rng.next_below(4));
+    plan.events.push_back(t);
+  }
+  // Corrupt a checkpoint generation that will exist before the crash,
+  // forcing restore to fall back.
+  if (rng.next_uniform() < 0.5 && crash.step > 0) {
+    FaultEvent c;
+    c.kind = FaultKind::kCorrupt;
+    c.rank = any_rank();
+    c.gen = static_cast<int64_t>(
+        rng.next_below(static_cast<uint64_t>(crash.step)));
+    plan.events.push_back(c);
+  }
+  return plan;
+}
+
+}  // namespace mls::fault

@@ -1,0 +1,77 @@
+#include "fault/rendezvous.h"
+
+#include <chrono>
+
+#include "common/check.h"
+
+namespace mls::fault {
+
+namespace {
+// Far beyond any watchdog/backoff delay in the tests; only reached when
+// a peer thread genuinely died without calling fail().
+constexpr auto kDeadline = std::chrono::seconds(120);
+}  // namespace
+
+Rendezvous::Rendezvous(int size, std::string name)
+    : size_(size), name_(std::move(name)) {
+  MLS_CHECK_GE(size_, 1);
+}
+
+comm::Comm Rendezvous::next_world(int rank) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto healthy_or_throw = [&] {
+    if (failed_) {
+      throw Error("rendezvous failed: " + fail_reason_);
+    }
+  };
+  healthy_or_throw();
+
+  // A rank lapping the group must not re-arrive into a generation that
+  // is still being distributed.
+  if (!cv_.wait_for(lock, kDeadline, [&] { return pending_.empty() || failed_; })) {
+    throw Error("rendezvous timeout: generation " + std::to_string(generation_) +
+                " was never fully collected");
+  }
+  healthy_or_throw();
+
+  ++arrived_;
+  if (arrived_ == size_) {
+    // Last arriver constructs the new generation for everyone.
+    pending_ = comm::Comm::create_group(
+        size_, name_ + ".g" + std::to_string(generation_));
+    ++generation_;
+    cv_.notify_all();
+  } else if (!cv_.wait_for(lock, kDeadline,
+                           [&] { return !pending_.empty() || failed_; })) {
+    throw Error("rendezvous timeout: " + std::to_string(arrived_) + "/" +
+                std::to_string(size_) + " ranks arrived for generation " +
+                std::to_string(generation_));
+  }
+  healthy_or_throw();
+
+  comm::Comm mine = std::move(pending_[static_cast<size_t>(rank)]);
+  MLS_CHECK(mine.valid()) << "rank " << rank << " collected twice";
+  if (--arrived_ == 0) {
+    pending_.clear();
+    cv_.notify_all();  // admit any rank already waiting to re-arrive
+  }
+  return mine;
+}
+
+void Rendezvous::fail(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!failed_) {
+      failed_ = true;
+      fail_reason_ = reason;
+    }
+  }
+  cv_.notify_all();
+}
+
+int64_t Rendezvous::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
+}
+
+}  // namespace mls::fault

@@ -1,0 +1,55 @@
+// Rendezvous: the elastic-agent analogue (torchelastic's c10d store
+// barrier). After a fault, every surviving rank thread abandons its
+// poisoned World and meets here; once all `size` ranks have arrived, a
+// fresh communicator generation is constructed and handed out, and
+// training resumes from the last committed checkpoint generation.
+//
+// The rendezvous itself is deliberately NOT built on Comm — the whole
+// point is that it must keep working after the World it replaces has
+// been poisoned and torn down.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "comm/comm.h"
+
+namespace mls::fault {
+
+class Rendezvous {
+ public:
+  explicit Rendezvous(int size, std::string name = "world");
+
+  // Blocks until all `size` ranks arrive, then returns this rank's
+  // handle in a freshly created communicator ("<name>.g<generation>").
+  // Reusable: the next round of calls builds the next generation.
+  // Throws if fail() was called or the wait exceeds a generous deadline
+  // (a peer died without reaching the rendezvous).
+  comm::Comm next_world(int rank);
+
+  // Marks the rendezvous permanently failed (a rank exhausted its
+  // restart budget) and wakes all waiters so nobody deadlocks waiting
+  // for a peer that has given up.
+  void fail(const std::string& reason);
+
+  // Number of communicator generations handed out so far.
+  int64_t generation() const;
+
+ private:
+  const int size_;
+  const std::string name_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  int64_t generation_ = 0;
+  // Generation under distribution; empty once every rank took its slot.
+  std::vector<comm::Comm> pending_;
+  bool failed_ = false;
+  std::string fail_reason_;
+};
+
+}  // namespace mls::fault

@@ -101,6 +101,11 @@ IterationStats PipelineEngine::run_iteration(
     }
   };
 
+  // Unwinding mid-schedule (a poisoned communicator, an injected fault)
+  // abandons the in-flight boundary sends: their errors, if any, are the
+  // same failure that is already propagating, and recovery tears the
+  // whole world down — without this the leak audit would flag them.
+  try {
   for (const auto& op : ops) {
     const int v = virtual_stage(op.chunk);
     auto& model = *chunks_[static_cast<size_t>(op.chunk)];
@@ -186,6 +191,10 @@ IterationStats PipelineEngine::run_iteration(
       }
       if (st.extra_output_bytes > 0) mt.on_free_extra(st.extra_output_bytes);
     }
+  }
+  } catch (...) {
+    for (auto& h : pending_sends) h.abandon();
+    throw;
   }
   MLS_CHECK(live.empty()) << "unbalanced schedule";
   for (auto& h : pending_sends) h.wait();

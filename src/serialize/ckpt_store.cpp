@@ -1,0 +1,141 @@
+#include "serialize/ckpt_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "analysis/ledger.h"
+#include "common/check.h"
+#include "fault/inject.h"
+
+namespace mls::serialize {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string gen_tag(int64_t gen) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "g%06lld", static_cast<long long>(gen));
+  return buf;
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::string dir, int keep)
+    : dir_(std::move(dir)), keep_(keep) {
+  MLS_CHECK_GE(keep_, 1);
+  fs::create_directories(dir_);
+}
+
+std::string CheckpointStore::shard_path(int64_t gen, int rank) const {
+  return dir_ + "/" + gen_tag(gen) + "_rank_" + std::to_string(rank) + ".ckpt";
+}
+
+std::string CheckpointStore::manifest_path(int64_t gen) const {
+  return dir_ + "/MANIFEST_" + gen_tag(gen);
+}
+
+std::vector<int64_t> CheckpointStore::generations() const {
+  std::vector<int64_t> gens;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("MANIFEST_g", 0) != 0) continue;
+    const std::string digits = name.substr(std::string("MANIFEST_g").size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    gens.push_back(std::stoll(digits));
+  }
+  std::sort(gens.begin(), gens.end());
+  return gens;
+}
+
+int64_t CheckpointStore::commit(comm::Comm& world, const NamedTensors& items) {
+  // Every rank scans the same committed state (the previous commit's
+  // trailing barrier ordered any earlier manifest before this scan), so
+  // all ranks agree on the next generation number without a broadcast.
+  const auto gens = generations();
+  const int64_t gen = gens.empty() ? 0 : gens.back() + 1;
+  const int rank = world.rank();
+
+  fault::on_io(rank, "ckpt.save");
+  save_tensors(shard_path(gen, rank), items);
+  fault::on_io(rank, "ckpt.commit");
+
+  // All shards durable before the manifest can name them…
+  {
+    analysis::SiteGuard sg("ckpt.commit");
+    world.barrier();
+    if (rank == 0) {
+      std::ostringstream m;
+      m << "MLSMANIFEST1 gen=" << gen << " world=" << world.size() << "\n";
+      for (int r = 0; r < world.size(); ++r) {
+        m << "rank_" << r << " " << gen_tag(gen) << "_rank_" << r << ".ckpt"
+          << " bytes="
+          << fs::file_size(shard_path(gen, r)) << "\n";
+      }
+      write_file_atomic(manifest_path(gen), m.str());
+      prune(gen);
+    }
+    // …and the generation is committed for every rank before any rank
+    // proceeds into work the checkpoint is supposed to cover.
+    world.barrier();
+  }
+  fault::on_shard_committed(rank, gen, shard_path(gen, rank).c_str());
+  return gen;
+}
+
+bool CheckpointStore::shard_ok(int64_t gen, int rank) const {
+  std::error_code ec;
+  if (!fs::exists(manifest_path(gen), ec)) return false;
+  return verify_tensors(shard_path(gen, rank));
+}
+
+int64_t CheckpointStore::restore_latest(comm::Comm& world,
+                                        NamedTensors& out) const {
+  out.clear();
+  auto gens = generations();
+  analysis::SiteGuard sg("ckpt.restore");
+  // One agreement round per candidate, newest first. The loop is
+  // collective: every rank walks the same generation list and leaves
+  // together on the first generation that verifies everywhere.
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    const bool ok = shard_ok(*it, world.rank());
+    Tensor bad = Tensor::scalar(ok ? 0.f : 1.f);
+    world.all_reduce(bad, comm::ReduceOp::Max);
+    if (bad.item() != 0.f) {
+      if (world.rank() == 0) {
+        std::fprintf(stderr,
+                     "[ckpt] generation %lld failed verification on at least "
+                     "one rank; falling back\n",
+                     static_cast<long long>(*it));
+      }
+      continue;
+    }
+    out = load_tensors(shard_path(*it, world.rank()));
+    return *it;
+  }
+  return -1;
+}
+
+void CheckpointStore::prune(int64_t newest) const {
+  std::error_code ec;
+  for (const int64_t gen : generations()) {
+    if (gen > newest - keep_) continue;
+    // Uncommit first: once the manifest is gone a half-deleted
+    // generation can never be selected by restore.
+    fs::remove(manifest_path(gen), ec);
+    for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind(gen_tag(gen) + "_rank_", 0) == 0) {
+        fs::remove(entry.path(), ec);
+      }
+    }
+  }
+}
+
+}  // namespace mls::serialize

@@ -1,0 +1,67 @@
+// Generation-versioned distributed checkpoint store (DESIGN.md §10).
+//
+// One directory holds a rolling window of checkpoint *generations*.
+// Each generation g consists of one CRC-trailed shard per world rank
+// (`g<nnnnnn>_rank_<r>.ckpt`, written atomically by checkpoint_io) plus
+// a manifest (`MANIFEST_g<nnnnnn>`) that rank 0 publishes — atomically,
+// after a barrier proves every shard is durable — to mark the
+// generation committed. A crash at any point therefore leaves either a
+// fully committed generation or an invisible partial one; the previous
+// good generation is never clobbered.
+//
+// Restore walks committed generations newest-first. Every rank verifies
+// its own shard's CRC locally and the group agrees by all-reduce, so a
+// shard corrupted on any single rank makes the whole group fall back
+// one generation together — never a torn restore where ranks load
+// different steps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/comm.h"
+#include "serialize/checkpoint_io.h"
+
+namespace mls::serialize {
+
+class CheckpointStore {
+ public:
+  // Creates `dir` if needed. `keep` >= 1 committed generations are
+  // retained; older ones are pruned (manifest first) at commit.
+  explicit CheckpointStore(std::string dir, int keep = 4);
+
+  const std::string& dir() const { return dir_; }
+  std::string shard_path(int64_t gen, int rank) const;
+  std::string manifest_path(int64_t gen) const;
+
+  // Committed generations (manifest present), ascending. Local scan.
+  std::vector<int64_t> generations() const;
+
+  // Collective over `world` (must be the full world — shard files are
+  // keyed by world rank): writes every rank's shard for the next
+  // generation, barriers, then rank 0 atomically publishes the
+  // manifest. Returns the committed generation number. Fault hooks:
+  // "ckpt.save" fires before the shard write, "ckpt.commit" after it
+  // (both leave the previous generation intact by construction), and
+  // the corruption hook fires once the generation is committed.
+  int64_t commit(comm::Comm& world, const NamedTensors& items);
+
+  // Local: true when `gen` is committed and this rank's shard passes
+  // its structural + CRC check.
+  bool shard_ok(int64_t gen, int rank) const;
+
+  // Collective: loads the newest generation that verifies on *every*
+  // rank into `out`, falling back a generation (all ranks together)
+  // whenever any rank's shard is corrupt. Returns the restored
+  // generation, or -1 when none survives (out left empty).
+  int64_t restore_latest(comm::Comm& world, NamedTensors& out) const;
+
+ private:
+  void prune(int64_t newest) const;
+
+  std::string dir_;
+  int keep_;
+};
+
+}  // namespace mls::serialize

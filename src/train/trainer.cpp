@@ -1,11 +1,36 @@
 #include "train/trainer.h"
 
 #include <cmath>
+#include <cstdio>
 
 #include "analysis/ledger.h"
+#include "fault/inject.h"
 #include "serialize/checkpoint_io.h"
 
 namespace mls::train {
+
+namespace {
+
+// Checkpoint tensors are float32; a u64 (RNG seed) survives exactly as
+// four 16-bit pieces (every value < 2^24 is exact in a float).
+Tensor pack_u64(uint64_t v) {
+  Tensor t = Tensor::empty(Shape{{4}});
+  for (int i = 0; i < 4; ++i) {
+    t.data()[i] = static_cast<float>((v >> (16 * i)) & 0xffffull);
+  }
+  return t;
+}
+
+uint64_t unpack_u64(const Tensor& t) {
+  MLS_CHECK_EQ(t.numel(), 4);
+  uint64_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint64_t>(t.data()[i]) << (16 * i);
+  }
+  return v;
+}
+
+}  // namespace
 
 Trainer::Trainer(const model::ModelConfig& cfg, comm::Comm& world,
                  TrainerOptions opts)
@@ -93,7 +118,7 @@ float Trainer::clip_gradients() {
   return norm;
 }
 
-void Trainer::save_checkpoint(const std::string& dir) const {
+serialize::NamedTensors Trainer::state_items() const {
   serialize::NamedTensors items;
   const auto params = engine_->params();
   for (size_t i = 0; i < params.size(); ++i) {
@@ -112,11 +137,33 @@ void Trainer::save_checkpoint(const std::string& dir) const {
   }
   items.emplace_back("iteration",
                      Tensor::scalar(static_cast<float>(iteration_)));
-  serialize::save_tensors(serialize::rank_file(dir, world_.rank()), items);
+  // Per-chunk RNG state: the dropout stream is a pure function of
+  // (seed, site, microbatch), so seed + microbatch counter IS the full
+  // generator state. Restoring them makes resumed masks bit-identical
+  // even if the chunk envs were constructed with different defaults.
+  for (int c = 0; c < engine_->num_chunks(); ++c) {
+    const auto& env = engine_->chunk_model(c).env();
+    items.emplace_back("rng_seed_c" + std::to_string(c), pack_u64(env.seed));
+    items.emplace_back(
+        "rng_mb_c" + std::to_string(c),
+        pack_u64(static_cast<uint64_t>(env.microbatch)));
+  }
+  items.emplace_back("global_step",
+                     Tensor::scalar(static_cast<float>(iteration_)));
+  return items;
+}
+
+void Trainer::save_checkpoint(const std::string& dir) const {
+  serialize::save_tensors(serialize::rank_file(dir, world_.rank()),
+                          state_items());
 }
 
 void Trainer::load_checkpoint(const std::string& dir) {
-  auto items = serialize::load_tensors(serialize::rank_file(dir, world_.rank()));
+  load_state_items(
+      serialize::load_tensors(serialize::rank_file(dir, world_.rank())));
+}
+
+void Trainer::load_state_items(const serialize::NamedTensors& items) {
   size_t idx = 0;
   auto take = [&](const std::string& expect_prefix) -> Tensor {
     MLS_CHECK_LT(idx, items.size()) << "truncated checkpoint";
@@ -143,9 +190,39 @@ void Trainer::load_checkpoint(const std::string& dir) {
     adam_->set_step_count(static_cast<int64_t>(take("adam_t").item()));
   }
   iteration_ = static_cast<int64_t>(take("iteration").item());
+  // RNG + step entries were appended in a later format revision; accept
+  // their absence so older checkpoints keep loading.
+  if (idx < items.size() && items[idx].first.rfind("rng_seed_c", 0) == 0) {
+    for (int c = 0; c < engine_->num_chunks(); ++c) {
+      auto& env = engine_->chunk_model(c).env();
+      env.seed = unpack_u64(take("rng_seed_c" + std::to_string(c)));
+      env.microbatch =
+          static_cast<int64_t>(unpack_u64(take("rng_mb_c" + std::to_string(c))));
+    }
+    const int64_t gstep = static_cast<int64_t>(take("global_step").item());
+    MLS_CHECK_EQ(gstep, iteration_) << "inconsistent checkpoint step counters";
+  }
+}
+
+int64_t Trainer::save_generation(serialize::CheckpointStore& store) {
+  return store.commit(world_, state_items());
+}
+
+int64_t Trainer::restore_latest(serialize::CheckpointStore& store) {
+  serialize::NamedTensors items;
+  const int64_t gen = store.restore_latest(world_, items);
+  if (gen >= 0) load_state_items(items);
+  return gen;
 }
 
 StepResult Trainer::step(const std::vector<data::Batch>& microbatches) {
+  // Fault-plane context for this step: tags this thread (and, via
+  // Comm::launch, its comm-stream tasks) with (world rank, step) so a
+  // plan can target "rank 2 at step 3"; on_step fires site-less crash
+  // events. Both are a single atomic load when no plan is armed.
+  fault::TrainScope fault_scope(world_.rank(), iteration_);
+  fault::on_step(world_.rank(), iteration_);
+
   std::vector<std::vector<int64_t>> tokens, targets;
   tokens.reserve(microbatches.size());
   targets.reserve(microbatches.size());
@@ -172,6 +249,77 @@ StepResult Trainer::step(const std::vector<data::Batch>& microbatches) {
   }
   ++iteration_;
   return result;
+}
+
+ResilientResult run_resilient(const model::ModelConfig& cfg,
+                              fault::Rendezvous& rdv, int rank,
+                              const TrainerOptions& topts,
+                              const ResilientOptions& ropts,
+                              const std::vector<std::vector<data::Batch>>& steps) {
+  MLS_CHECK(!ropts.ckpt_dir.empty()) << "run_resilient needs a checkpoint dir";
+  fault::maybe_arm_from_env();
+
+  ResilientResult res;
+  res.losses.assign(steps.size(), 0.0f);
+  const int64_t total = static_cast<int64_t>(steps.size());
+  // Furthest step any attempt completed; replay below it is re-done work.
+  int64_t max_reached = 0;
+
+  for (;;) {
+    comm::Comm world = rdv.next_world(rank);
+    try {
+      serialize::CheckpointStore store(ropts.ckpt_dir, ropts.keep_generations);
+      Trainer trainer(cfg, world, topts);
+      const int64_t gen = trainer.restore_latest(store);
+      if (res.restarts > 0) {
+        res.restored_gens.push_back(gen);
+        res.steps_replayed += max_reached - trainer.iteration();
+        if (ropts.log && rank == 0) {
+          std::fprintf(stderr,
+                       "[elastic] rank %d restored generation %lld, resuming "
+                       "at step %lld/%lld\n",
+                       rank, static_cast<long long>(gen),
+                       static_cast<long long>(trainer.iteration()),
+                       static_cast<long long>(total));
+        }
+      }
+      while (trainer.iteration() < total) {
+        const int64_t it = trainer.iteration();
+        const StepResult r = trainer.step(steps[static_cast<size_t>(it)]);
+        res.losses[static_cast<size_t>(it)] = r.loss;
+        max_reached = std::max(max_reached, it + 1);
+        // Commit on the cadence and always after the final step, so a
+        // completed run never depends on the cadence dividing `total`.
+        if ((it + 1) % ropts.ckpt_every == 0 || it + 1 == total) {
+          // The save runs collectives and I/O on behalf of the step that
+          // just finished; keep the fault context pointing at it.
+          fault::TrainScope scope(world.rank(), it);
+          trainer.save_generation(store);
+        }
+      }
+      return res;
+    } catch (const std::exception& e) {
+      // First failure anywhere wins; this rank's own error may be a
+      // secondary "another rank failed" fan-out.
+      world.poison(std::string("rank ") + std::to_string(rank) +
+                   " failed: " + e.what());
+      std::string reason = world.poison_reason();
+      if (reason.empty()) reason = e.what();
+      world.drain();  // quiesce in-flight comm-stream work before teardown
+      ++res.restarts;
+      res.failure_reasons.push_back(reason);
+      if (ropts.log && rank == 0) {
+        std::fprintf(stderr,
+                     "[elastic] restart %d/%d: %s\n"
+                     "[elastic] world torn down; re-rendezvousing\n",
+                     res.restarts, ropts.max_restarts, reason.c_str());
+      }
+      if (res.restarts > ropts.max_restarts) {
+        rdv.fail(reason);
+        throw;
+      }
+    }
+  }
 }
 
 }  // namespace mls::train

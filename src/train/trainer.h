@@ -5,10 +5,14 @@
 #pragma once
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "data/synthetic.h"
+#include "fault/rendezvous.h"
 #include "optim/optim.h"
 #include "pipeline/executor.h"
+#include "serialize/ckpt_store.h"
 
 namespace mls::train {
 
@@ -48,14 +52,24 @@ class Trainer {
   float lr_at(int64_t it) const;
 
   // Distributed checkpointing: each world rank saves/restores its own
-  // shard file (parameters, Adam moments, iteration counter). Loading
-  // requires the same parallel configuration that saved; resuming is
-  // bit-exact (tests assert it).
+  // shard file (parameters, Adam moments, per-chunk RNG state, the
+  // iteration counter and global step). Loading requires the same
+  // parallel configuration that saved; resuming is bit-exact (tests
+  // assert it).
   void save_checkpoint(const std::string& dir) const;
   void load_checkpoint(const std::string& dir);
 
+  // Generation-versioned variants over a CheckpointStore (collective
+  // across the trainer's world). save_generation commits a new
+  // generation; restore_latest loads the newest one that verifies on
+  // every rank and returns its generation number (-1 = fresh start).
+  int64_t save_generation(serialize::CheckpointStore& store);
+  int64_t restore_latest(serialize::CheckpointStore& store);
+
  private:
   float clip_gradients();
+  serialize::NamedTensors state_items() const;
+  void load_state_items(const serialize::NamedTensors& items);
 
   model::ModelConfig cfg_;
   TrainerOptions opts_;
@@ -65,5 +79,41 @@ class Trainer {
   std::unique_ptr<optim::Sgd> sgd_;
   int64_t iteration_ = 0;
 };
+
+// --- elastic training (DESIGN.md §10) ----------------------------------
+// run_resilient wraps the plain Trainer loop in the recovery protocol:
+// on any failure the rank poisons its world (propagating the root
+// cause), drains in-flight comm-stream work, meets the surviving ranks
+// at the Rendezvous for a fresh communicator, restores the last
+// verified checkpoint generation, and replays forward. Losses of a
+// recovered run are bit-identical to an uninterrupted one.
+
+struct ResilientOptions {
+  std::string ckpt_dir;        // CheckpointStore directory (required)
+  int64_t ckpt_every = 1;      // commit a generation every N steps
+  int max_restarts = 8;        // per-run restart budget
+  int keep_generations = 4;    // CheckpointStore retention window
+  bool log = true;             // rank-0 recovery transcript on stderr
+};
+
+struct ResilientResult {
+  // Per-step scalar log, not tensor data; later attempts overwrite
+  // replayed entries.
+  std::vector<float> losses;  // lint:allow(raw-storage)
+  int restarts = 0;
+  int64_t steps_replayed = 0;  // work redone after restores (overhead metric)
+  std::vector<std::string> failure_reasons;  // root cause per restart
+  std::vector<int64_t> restored_gens;        // generation restored per restart
+};
+
+// Body of one rank thread (world size must be cfg.t * cfg.p; `rank` is
+// this thread's stable world rank across restarts). Arms the fault
+// plane from MLS_FAULT_PLAN on entry. Throws after max_restarts
+// consecutive failures, failing the rendezvous so peers unwind too.
+ResilientResult run_resilient(const model::ModelConfig& cfg,
+                              fault::Rendezvous& rdv, int rank,
+                              const TrainerOptions& topts,
+                              const ResilientOptions& ropts,
+                              const std::vector<std::vector<data::Batch>>& steps);
 
 }  // namespace mls::train
