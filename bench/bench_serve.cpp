@@ -1,0 +1,212 @@
+// Serving-plane benchmark: continuous batching over the paged KV cache
+// under closed-loop zipfian traffic (src/serve), reporting tokens/s,
+// per-token p50/p99 latency, and KV fragmentation — paged block table
+// vs the naive per-request contiguous allocator, and (on a t=2 grid
+// with injected wire latency) pipelined decode collectives on vs off.
+//
+// Modes:
+//   bench_serve              full run: hundreds of concurrent streams,
+//                            one ServeReport table per configuration
+//   bench_serve --smoke      fast CI run; asserts the paged cache's
+//                            reserved peak and fragmentation are no
+//                            worse than the naive baseline and that
+//                            both emit identical tokens; writes
+//                            BENCH_serve.json; exit 0/1
+//   bench_serve --json[=p]   full run, reports written to p as JSON
+//                            (default BENCH_serve.json)
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "comm/spmd.h"
+#include "common/memtracker.h"
+#include "serve/report.h"
+#include "serve/traffic.h"
+
+using namespace mls;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+model::ModelConfig bench_model(int t, int64_t s, int64_t h) {
+  model::ModelConfig cfg = model::ModelConfig::tiny(t, 4);
+  cfg.b = 1;
+  cfg.s = s;
+  cfg.h = h;
+  cfg.dropout_p = 0.0f;
+  return cfg;
+}
+
+struct RunOut {
+  serve::ServeReport report;
+  // request id -> prompt+generated tokens (identity checks in --smoke).
+  std::map<int64_t, std::vector<int64_t>> tokens;
+};
+
+// One serving run on a fresh t-rank world; the report is rank 0's.
+RunOut run_world(const std::string& label, int t, const model::ModelConfig& cfg,
+                 const serve::ServeConfig& scfg,
+                 const serve::TrafficConfig& tcfg, double fixed_latency_s) {
+  RunOut out;
+  spmd::run(t, [&](comm::Comm& c) {
+    model::GPTModel m(cfg, c);
+    if (fixed_latency_s > 0) c.set_injected_comm_latency(0, fixed_latency_s);
+    serve::ContinuousBatchScheduler sched(m, scfg);
+    serve::ClosedLoopTraffic traffic(tcfg, cfg.v, cfg.s);
+    const double t0 = now_s();
+    auto completions = serve::run_closed_loop(sched, traffic);
+    const double wall = now_s() - t0;
+    if (fixed_latency_s > 0) c.set_injected_comm_latency(0, 0);
+    if (c.rank() == 0) {
+      out.report = serve::ServeReport::build(
+          label, completions, sched.stats(), sched.kv_stats(),
+          MemoryTracker::instance().allocator_stats(), wall);
+      for (auto& comp : completions) {
+        out.tokens[comp.request.id] = std::move(comp.tokens);
+      }
+    }
+  });
+  return out;
+}
+
+void write_json(const std::string& path,
+                const std::vector<serve::ServeReport>& reports) {
+  std::ofstream f(path);
+  f << "{\"bench\":\"serve\",\"runs\":[";
+  for (size_t i = 0; i < reports.size(); ++i) {
+    if (i) f << ",";
+    f << reports[i].json();
+  }
+  f << "]}\n";
+  std::printf("wrote %s (%zu runs)\n", path.c_str(), reports.size());
+}
+
+// ----------------------------------------------------------- --smoke
+int run_smoke(const std::string& json_path) {
+  const model::ModelConfig cfg = bench_model(1, 16, 32);
+  serve::TrafficConfig tcfg;
+  tcfg.clients = 32;
+  tcfg.total_requests = 48;
+  tcfg.temperature = 0.7f;
+
+  serve::ServeConfig paged;
+  paged.block_tokens = 4;
+  paged.kv_budget_tokens = 256;
+  paged.max_batch = 16;
+  serve::ServeConfig naive = paged;
+  naive.paged = false;
+
+  const RunOut p = run_world("paged/smoke", 1, cfg, paged, tcfg, 0);
+  const RunOut n = run_world("naive/smoke", 1, cfg, naive, tcfg, 0);
+  write_json(json_path, {p.report, n.report});
+
+  int failures = 0;
+  const auto expect = [&](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what);
+    failures += !ok;
+  };
+  expect(p.report.completed == tcfg.total_requests,
+         "paged run completes every request");
+  expect(n.report.completed == tcfg.total_requests,
+         "naive run completes every request");
+  expect(p.tokens == n.tokens, "paged and naive emit identical tokens");
+  expect(p.report.kv_reserved_peak_bytes <= n.report.kv_reserved_peak_bytes,
+         "paged reserved peak <= naive reserved peak");
+  expect(p.report.kv_waste_mean <= n.report.kv_waste_mean,
+         "paged fragmentation <= naive fragmentation");
+  expect(p.report.tokens_generated == n.report.tokens_generated,
+         "same tokens generated");
+  std::printf("bench_serve --smoke: %s\n", failures ? "FAILED" : "passed");
+  return failures ? 1 : 0;
+}
+
+// --------------------------------------------------------- full run
+int run_full(bool json, const std::string& json_path) {
+  // Hundreds of concurrent closed-loop streams; prompt and output
+  // lengths zipfian up to half the context window.
+  const model::ModelConfig cfg = bench_model(1, 64, 64);
+  serve::TrafficConfig tcfg;
+  tcfg.clients = 256;
+  tcfg.total_requests = 768;
+  tcfg.temperature = 0.7f;
+
+  // A budget tight enough that admission policy matters: the naive
+  // cache must find room for a request's whole worst case up front,
+  // the paged cache only for its next block.
+  serve::ServeConfig paged;
+  paged.block_tokens = 16;
+  paged.kv_budget_tokens = 1024;
+  paged.max_batch = 64;
+  serve::ServeConfig naive = paged;
+  naive.paged = false;
+
+  std::vector<serve::ServeReport> reports;
+  reports.push_back(run_world("paged", 1, cfg, paged, tcfg, 0).report);
+  reports.push_back(run_world("naive", 1, cfg, naive, tcfg, 0).report);
+
+  // Same traffic with a budget nobody saturates: here the peaks
+  // separate — the naive cache's worst-case reservations stack up
+  // while the block table only ever holds what is cached (rounded up
+  // to a block).
+  serve::ServeConfig paged_roomy = paged;
+  paged_roomy.kv_budget_tokens = 2048;
+  serve::ServeConfig naive_roomy = paged_roomy;
+  naive_roomy.paged = false;
+  reports.push_back(
+      run_world("paged/roomy", 1, cfg, paged_roomy, tcfg, 0).report);
+  reports.push_back(
+      run_world("naive/roomy", 1, cfg, naive_roomy, tcfg, 0).report);
+
+  // Decode collectives on a t=2 grid with injected wire latency: the
+  // pipelined half-batch path hides all-reduces behind compute. A
+  // wider model than the t=1 runs — the half-batch compute windows
+  // must be larger than the injected latency for hiding to matter.
+  const model::ModelConfig tp = bench_model(2, 64, 256);
+  serve::TrafficConfig tp_tcfg = tcfg;
+  tp_tcfg.total_requests = 192;
+  tp_tcfg.clients = 128;
+  serve::ServeConfig ov = paged;
+  ov.overlap = true;
+  serve::ServeConfig no_ov = paged;
+  no_ov.overlap = false;
+  const double wire = 200e-6;  // 200us per collective
+  reports.push_back(
+      run_world("t2/overlap", 2, tp, ov, tp_tcfg, wire).report);
+  reports.push_back(
+      run_world("t2/serial", 2, tp, no_ov, tp_tcfg, wire).report);
+
+  for (const auto& r : reports) std::printf("%s\n\n", r.text().c_str());
+  if (json) write_json(json_path, reports);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false, json = false;
+  std::string json_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      json_path = arg.substr(7);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (smoke) return run_smoke(json_path);
+  return run_full(json, json_path);
+}

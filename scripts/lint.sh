@@ -27,6 +27,14 @@
 #                      arena) so the pool's stats and high-water marks
 #                      see every buffer. Tests/bench/examples may use
 #                      vector<float> freely for host-side lists.
+#   serve-raw-buffer — a per-request buffer in src/serve allocated off
+#                      the pool: malloc/calloc, operator new[], or a
+#                      byte/float std::vector. Serving state scales
+#                      with concurrent sequences; KV blocks and decode
+#                      scratch must be Tensors (pool-arena storage) so
+#                      bench_serve's fragmentation and high-water
+#                      numbers see every byte. Bookkeeping vectors of
+#                      ids/indices/doubles are fine.
 #   hot-permute      — an ops::permute / ag::permute call in the model
 #                      hot path (src/core, src/model, src/pipeline,
 #                      src/train, src/runtime). The generic permute is
@@ -40,6 +48,7 @@
 #   // lint:allow(comm-under-lock)
 #   // lint:allow(unwaited-handle)
 #   // lint:allow(raw-storage)
+#   // lint:allow(serve-raw-buffer)
 #   // lint:allow(hot-permute)
 #
 # Exits nonzero if any check fires. Pure bash+grep+awk: runs on the
@@ -176,6 +185,38 @@ if [ -n "$raw_storage" ]; then
   echo "      through Tensor/Storage so the arena accounts for it;"
   echo "      suppress with // lint:allow(raw-storage)):"
   echo "$raw_storage"
+  status=1
+fi
+
+# ---------------------------------------------------- serve-raw-buffer
+# Per-request serving state bypassing the pool arena. Stricter than
+# raw-storage: also catches malloc/calloc and byte-scale vectors, which
+# in src/serve are per-sequence payloads (KV, token scratch), not
+# bookkeeping.
+serve_files=$(echo "$FILES" | grep -E '^src/serve/' || true)
+serve_raw=""
+if [ -n "$serve_files" ]; then
+  serve_raw=$(awk '
+    {
+      line = $0
+      suppressed = (line ~ /lint:allow\(serve-raw-buffer\)/)
+      sub(/\/\/.*/, "", line)
+      gsub(/"([^"\\]|\\.)*"/, "\"\"", line)
+      hit = 0
+      if (line ~ /(^|[^A-Za-z0-9_])(malloc|calloc|realloc)[ \t]*\(/) hit = 1
+      if (line ~ /(^|[^A-Za-z0-9_])new[ \t]+(float|char|unsigned[ \t]+char|(std::)?uint8_t)[ \t]*\[/) hit = 1
+      if (line ~ /std::vector[ \t]*<[ \t]*(float|char|unsigned[ \t]+char|(std::)?uint8_t)[ \t]*>/) hit = 1
+      if (hit && !suppressed)
+        printf "  %s:%d: per-request buffer allocated off the pool arena\n", \
+               FILENAME, FNR
+    }
+  ' $serve_files)
+fi
+if [ -n "$serve_raw" ]; then
+  echo "lint: raw per-request buffer in src/serve (KV blocks and decode"
+  echo "      scratch must be Tensors so the arena and bench_serve account"
+  echo "      for them; suppress with // lint:allow(serve-raw-buffer)):"
+  echo "$serve_raw"
   status=1
 fi
 

@@ -61,12 +61,24 @@ std::string MemoryTracker::allocator_report() const {
   return arena->stats().report(arena->name());
 }
 
+memory::AllocStats MemoryTracker::allocator_stats() const {
+  return memory::PoolAllocator::this_thread()->stats();
+}
+
+void MemoryTracker::on_kv_alloc(int64_t bytes) {
+  kv_ += bytes;
+  kv_peak_ = std::max(kv_peak_, kv_);
+}
+
+void MemoryTracker::on_kv_free(int64_t bytes) { kv_ -= bytes; }
+
 void MemoryTracker::update_peak() {
   peak_ = std::max(peak_, current_major_ + current_minor_ + extra_);
 }
 
 void MemoryTracker::reset() {
   current_major_ = current_minor_ = peak_ = extra_ = 0;
+  kv_ = kv_peak_ = 0;
   by_tag_.clear();
   scopes_.clear();
 }

@@ -24,6 +24,10 @@
 
 namespace mls {
 
+namespace memory {
+struct AllocStats;
+}
+
 class MemoryTracker {
  public:
   // The calling thread's (i.e. the calling rank's) tracker.
@@ -63,6 +67,20 @@ class MemoryTracker {
   void reset_physical_peak();
   // The arena's full stats/fragmentation report (diagnostics).
   std::string allocator_report() const;
+  // The same numbers as a struct (memory/pool_allocator.h), so benches
+  // and the serve plane read fragmentation / high-water marks directly
+  // instead of parsing the text report.
+  memory::AllocStats allocator_stats() const;
+
+  // KV-cache axis: logical bytes of cached key/value entries this rank
+  // holds for in-flight sequences (src/serve). Charged by the KV cache
+  // when a block (paged) or a whole-sequence region (naive) is
+  // reserved, released when the sequence retires — the inference
+  // counterpart of the activation axis above.
+  void on_kv_alloc(int64_t bytes);
+  void on_kv_free(int64_t bytes);
+  int64_t kv_bytes() const { return kv_; }
+  int64_t kv_peak_bytes() const { return kv_peak_; }
 
   // Per-tag live bytes (major + minor), for breakdown tables.
   const std::map<std::string, int64_t>& by_tag() const { return by_tag_; }
@@ -82,6 +100,8 @@ class MemoryTracker {
   int64_t current_minor_ = 0;
   int64_t peak_ = 0;
   int64_t extra_ = 0;
+  int64_t kv_ = 0;
+  int64_t kv_peak_ = 0;
   std::map<std::string, int64_t> by_tag_;
   std::vector<std::string> scopes_;
 };

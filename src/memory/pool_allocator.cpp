@@ -34,6 +34,23 @@ std::string AllocStats::report(const std::string& name) const {
   return os.str();
 }
 
+std::string AllocStats::json() const {
+  std::ostringstream os;
+  os << "{\"allocs\":" << allocs << ",\"frees\":" << frees
+     << ",\"pool_hits\":" << pool_hits << ",\"pool_misses\":" << pool_misses
+     << ",\"splits\":" << splits << ",\"coalesces\":" << coalesces
+     << ",\"cross_thread_frees\":" << cross_thread_frees
+     << ",\"bytes_in_use\":" << bytes_in_use
+     << ",\"in_use_peak\":" << in_use_peak
+     << ",\"bytes_cached\":" << bytes_cached
+     << ",\"physical_bytes\":" << physical_bytes
+     << ",\"physical_peak\":" << physical_peak << ",\"segments\":" << segments
+     << ",\"largest_free_block\":" << largest_free_block
+     << ",\"hit_rate\":" << hit_rate()
+     << ",\"fragmentation\":" << fragmentation() << "}";
+  return os.str();
+}
+
 PoolAllocator::Config PoolAllocator::Config::from_env() {
   Config cfg;
   cfg.enabled = core::Env::flag("MLS_ALLOC_POOL", true);

@@ -83,6 +83,9 @@ struct AllocStats {
                            static_cast<double>(bytes_cached);
   }
   std::string report(const std::string& name = "arena") const;
+  // The same counters as a JSON object (one line, no trailing newline),
+  // for machine-readable bench output (bench_serve's BENCH_serve.json).
+  std::string json() const;
 };
 
 class PoolAllocator {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
+#include <vector>
 
 namespace mls::model {
 
@@ -14,36 +16,51 @@ uint64_t hash64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
-int64_t sample(const Tensor& logits, float temperature, uint64_t seed,
-               int64_t step) {
-  const int64_t v = logits.numel();
-  const float* lp = logits.data();
+std::string overflow_message(int64_t position, int64_t context) {
+  std::ostringstream os;
+  os << "context overflow: generation needs position " << position
+     << " but the model was trained with sequence length " << context;
+  return os.str();
+}
+
+}  // namespace
+
+ContextOverflowError::ContextOverflowError(int64_t position, int64_t context)
+    : Error(overflow_message(position, context)),
+      position_(position),
+      context_(context) {}
+
+int64_t sample_token(const float* logits, int64_t vocab, float temperature,
+                     uint64_t seed, int64_t step) {
   if (temperature <= 0.0f) {
-    return static_cast<int64_t>(
-        std::max_element(lp, lp + v) - lp);
+    return static_cast<int64_t>(std::max_element(logits, logits + vocab) -
+                                logits);
   }
   // Stable softmax at the given temperature, then inverse-CDF sampling
   // with a deterministic per-step uniform (identical on all ranks).
-  float mx = lp[0];
-  for (int64_t i = 1; i < v; ++i) mx = std::max(mx, lp[i]);
+  float mx = logits[0];
+  for (int64_t i = 1; i < vocab; ++i) mx = std::max(mx, logits[i]);
   double denom = 0;
-  std::vector<double> e(static_cast<size_t>(v));
-  for (int64_t i = 0; i < v; ++i) {
-    e[static_cast<size_t>(i)] = std::exp((lp[i] - mx) / temperature);
+  std::vector<double> e(static_cast<size_t>(vocab));
+  for (int64_t i = 0; i < vocab; ++i) {
+    e[static_cast<size_t>(i)] = std::exp((logits[i] - mx) / temperature);
     denom += e[static_cast<size_t>(i)];
   }
   const double u =
       static_cast<double>(hash64(seed ^ static_cast<uint64_t>(step)) >> 11) *
       0x1.0p-53 * denom;
   double acc = 0;
-  for (int64_t i = 0; i < v; ++i) {
+  for (int64_t i = 0; i < vocab; ++i) {
     acc += e[static_cast<size_t>(i)];
     if (acc >= u) return i;
   }
-  return v - 1;
+  return vocab - 1;
 }
 
-}  // namespace
+int64_t sample_token(const Tensor& logits, float temperature, uint64_t seed,
+                     int64_t step) {
+  return sample_token(logits.data(), logits.numel(), temperature, seed, step);
+}
 
 std::vector<int64_t> generate(GPTModel& model,
                               const std::vector<int64_t>& prompt,
@@ -57,15 +74,17 @@ std::vector<int64_t> generate(GPTModel& model,
   model.set_microbatch(0);
   std::vector<int64_t> out = prompt;
   for (int64_t step = 0; step < opts.max_new_tokens; ++step) {
-    // Window of the most recent <= s tokens, zero-padded to length s.
-    const int64_t start =
-        std::max<int64_t>(0, static_cast<int64_t>(out.size()) - cfg.s);
+    // Sampling token `step` feeds position out.size() - 1; that position
+    // must exist in the trained context window.
+    const int64_t position = static_cast<int64_t>(out.size()) - 1;
+    if (position >= cfg.s) {
+      model.set_inference(false);
+      throw ContextOverflowError(position, cfg.s);
+    }
     std::vector<int64_t> window(static_cast<size_t>(cfg.s), 0);
-    const int64_t len = static_cast<int64_t>(out.size()) - start;
-    for (int64_t i = 0; i < len; ++i)
-      window[static_cast<size_t>(i)] = out[static_cast<size_t>(start + i)];
-    Tensor logits = model.next_token_logits(window, len - 1);
-    out.push_back(sample(logits, opts.temperature, opts.seed, step));
+    std::copy(out.begin(), out.end(), window.begin());
+    Tensor logits = model.next_token_logits(window, position);
+    out.push_back(sample_token(logits, opts.temperature, opts.seed, step));
   }
   model.set_inference(false);
   return out;

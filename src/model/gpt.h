@@ -73,6 +73,15 @@ class GPTModel {
   // The tied embedding/output table shard (for cross-stage grad sync).
   ag::Var word_table() const { return word_table_; }
 
+  // Read-only structure access for the incremental decode path
+  // (src/serve/decode.h), which re-runs the layer math tensor-by-tensor
+  // against a KV cache instead of going through ag::Var graphs.
+  const std::vector<TransformerLayer>& layers() const { return layers_; }
+  const ag::Var& pos_table() const { return pos_table_; }
+  const ag::Var& lnf_gamma() const { return lnf_gamma_; }
+  const ag::Var& lnf_beta() const { return lnf_beta_; }
+  int64_t vocab_offset() const { return vocab_offset_; }
+
  private:
   ModelConfig cfg_;
   core::ParallelEnv env_;

@@ -1,0 +1,28 @@
+#include "serve/config.h"
+
+#include "common/check.h"
+#include "core/env.h"
+
+namespace mls::serve {
+
+ServeConfig ServeConfig::from_env() {
+  ServeConfig cfg;
+  cfg.block_tokens =
+      core::Env::integer("MLS_SERVE_BLOCK_TOKENS", cfg.block_tokens);
+  cfg.kv_budget_tokens =
+      core::Env::integer("MLS_SERVE_KV_TOKENS", cfg.kv_budget_tokens);
+  cfg.max_batch = core::Env::integer("MLS_SERVE_MAX_BATCH", cfg.max_batch);
+  cfg.paged = core::Env::flag("MLS_SERVE_PAGED", cfg.paged);
+  cfg.overlap = core::Env::flag("MLS_SERVE_OVERLAP", cfg.overlap);
+  cfg.validate();
+  return cfg;
+}
+
+void ServeConfig::validate() const {
+  MLS_CHECK_GT(block_tokens, 0);
+  MLS_CHECK_GE(kv_budget_tokens, block_tokens)
+      << "KV budget smaller than one block";
+  MLS_CHECK_GT(max_batch, 0);
+}
+
+}  // namespace mls::serve

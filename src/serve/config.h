@@ -1,0 +1,37 @@
+// Serving-plane configuration (the MLS_SERVE_* env knobs).
+//
+// The knobs size the per-rank KV budget and the continuous-batching
+// scheduler; see README "Serving" for the table and DESIGN.md §11 for
+// how they interact.
+#pragma once
+
+#include <cstdint>
+
+namespace mls::serve {
+
+struct ServeConfig {
+  // Tokens per KV block (the paging granule). Every block stores this
+  // many token positions for ALL layers and this rank's heads.
+  int64_t block_tokens = 16;  // MLS_SERVE_BLOCK_TOKENS
+  // Per-rank KV budget in token positions; the paged pool holds
+  // floor(kv_budget_tokens / block_tokens) blocks, the naive baseline
+  // the same number of bytes.
+  int64_t kv_budget_tokens = 4096;  // MLS_SERVE_KV_TOKENS
+  // Max sequences decoded per step (batch width ceiling).
+  int64_t max_batch = 32;  // MLS_SERVE_MAX_BATCH
+  // Paged block-table cache (default) vs naive whole-sequence
+  // reservations — the bench baseline.
+  bool paged = true;  // MLS_SERVE_PAGED
+  // Software-pipeline the decode all-reduces against compute on the
+  // comm streams (two half-batches per layer). Numerics identical
+  // (test_serve pins both paths to the same tokens), but off by
+  // default: a decode step's per-layer compute window is small, and on
+  // few-core hosts the split-batch launches and ring rendezvous cost
+  // more than the hidden latency (bench_serve t2/overlap vs t2/serial).
+  bool overlap = false;  // MLS_SERVE_OVERLAP
+
+  static ServeConfig from_env();
+  void validate() const;
+};
+
+}  // namespace mls::serve

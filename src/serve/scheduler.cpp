@@ -1,0 +1,209 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace mls::serve {
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+KVLayout cache_layout(const model::ModelConfig& cfg, int tp_size,
+                      int64_t block_tokens) {
+  KVLayout lo;
+  lo.layers = cfg.L;
+  lo.heads_local = cfg.a / tp_size;
+  lo.d = cfg.h / cfg.a;
+  lo.block_tokens = block_tokens;
+  lo.max_ctx = cfg.s;
+  return lo;
+}
+
+}  // namespace
+
+const char* finish_reason_name(FinishReason r) {
+  switch (r) {
+    case FinishReason::kCompleted: return "completed";
+    case FinishReason::kContextOverflow: return "context_overflow";
+    case FinishReason::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+ContinuousBatchScheduler::ContinuousBatchScheduler(model::GPTModel& model,
+                                                   const ServeConfig& cfg)
+    : model_(model),
+      cfg_(cfg),
+      cache_(cfg.paged
+                 ? make_paged_kv_cache(
+                       cache_layout(model.config(), model.env().tp_size(),
+                                    cfg.block_tokens),
+                       cfg.kv_budget_tokens)
+                 : make_naive_kv_cache(
+                       cache_layout(model.config(), model.env().tp_size(),
+                                    cfg.block_tokens),
+                       cfg.kv_budget_tokens)),
+      engine_(model, cfg.overlap) {
+  cfg_.validate();
+  model_.set_inference(true);
+  model_.set_microbatch(0);
+}
+
+ContinuousBatchScheduler::~ContinuousBatchScheduler() {
+  model_.set_inference(false);
+}
+
+void ContinuousBatchScheduler::submit(Request r) {
+  Sequence s;
+  s.tokens = r.prompt;
+  s.req = std::move(r);
+  s.submitted_step = stats_.steps;
+  s.submit_time = now_s();
+  queue_.push_back(std::move(s));
+}
+
+int64_t ContinuousBatchScheduler::kv_target(const Request& r) const {
+  const int64_t fed =
+      static_cast<int64_t>(r.prompt.size()) + std::max<int64_t>(
+          r.max_new_tokens - 1, 0);
+  return std::min(fed, engine_.layout().max_ctx);
+}
+
+Completion ContinuousBatchScheduler::retire(Sequence&& s,
+                                            FinishReason reason) {
+  Completion c;
+  c.request = std::move(s.req);
+  c.tokens = std::move(s.tokens);
+  c.reason = reason;
+  c.submitted_step = s.submitted_step;
+  c.finished_step = stats_.steps;
+  c.preemptions = s.preemptions;
+  c.queue_s = s.queue_s;
+  c.first_token_s = s.first_token_s;
+  c.token_intervals_s = std::move(s.intervals);
+  switch (reason) {
+    case FinishReason::kCompleted: ++stats_.completed; break;
+    case FinishReason::kContextOverflow: ++stats_.overflowed; break;
+    case FinishReason::kRejected: ++stats_.rejected; break;
+  }
+  return c;
+}
+
+void ContinuousBatchScheduler::admit(std::vector<Completion>* done) {
+  while (!queue_.empty() &&
+         static_cast<int64_t>(running_.size()) < cfg_.max_batch) {
+    Sequence& head = queue_.front();
+    const int64_t prompt_len = static_cast<int64_t>(head.req.prompt.size());
+    if (prompt_len == 0 || prompt_len > engine_.layout().max_ctx ||
+        !cache_->fits_alone(kv_target(head.req))) {
+      done->push_back(retire(std::move(head), FinishReason::kRejected));
+      queue_.pop_front();
+      continue;
+    }
+    if (!cache_->can_admit(kv_target(head.req))) break;  // head-of-line
+    Sequence s = std::move(head);
+    queue_.pop_front();
+    s.kv = cache_->create(kv_target(s.req));
+    if (!s.admitted_once) {
+      s.admitted_once = true;
+      s.queue_s = now_s() - s.submit_time;
+      stats_.prompt_tokens += prompt_len;
+    }
+    ++stats_.admitted;
+    running_.push_back(std::move(s));
+  }
+}
+
+void ContinuousBatchScheduler::preempt_latest() {
+  MLS_CHECK(!running_.empty());
+  Sequence victim = std::move(running_.back());
+  running_.pop_back();
+  victim.kv.reset();  // blocks return to the pool
+  victim.cached = 0;  // re-prefill on re-admission (recompute-on-return)
+  ++victim.preemptions;
+  ++stats_.preemptions;
+  queue_.push_front(std::move(victim));
+}
+
+std::vector<Completion> ContinuousBatchScheduler::step() {
+  ++stats_.steps;
+  std::vector<Completion> done;
+  admit(&done);
+  if (running_.empty()) return done;
+
+  // Reserve this step's KV position for every running sequence before
+  // touching the engine; under pressure, evict latest-admitted until
+  // the reservation fits. Earliest sequences reserve first, so the one
+  // making slowest progress is never starved.
+  for (size_t i = 0; i < running_.size();) {
+    if (running_[i].kv->reserve(running_[i].cached)) {
+      ++i;
+      continue;
+    }
+    // A lone sequence can always reserve: admission guaranteed its
+    // worst case fits the pool by itself.
+    MLS_CHECK_GT(running_.size(), 1u) << "KV reservation deadlock";
+    preempt_latest();
+    if (i >= running_.size()) break;  // the victim was running_[i]
+  }
+
+  std::vector<DecodeRow> rows;
+  rows.reserve(running_.size());
+  for (Sequence& s : running_) {
+    DecodeRow r;
+    r.token = s.tokens[static_cast<size_t>(s.cached)];
+    r.position = s.cached;
+    r.kv = s.kv.get();
+    r.sample = s.cached == static_cast<int64_t>(s.tokens.size()) - 1;
+    r.temperature = s.req.temperature;
+    r.seed = s.req.seed;
+    r.sample_step = s.generated;
+    rows.push_back(r);
+  }
+  if (step_hook_) step_hook_(stats_.steps - 1);
+  const std::vector<int64_t> sampled = engine_.step(rows);
+
+  const double t = now_s();
+  stats_.rows_processed += static_cast<int64_t>(rows.size());
+  stats_.batch_rows_sum += static_cast<double>(rows.size());
+  stats_.max_batch_rows = std::max(stats_.max_batch_rows,
+                                   static_cast<int64_t>(rows.size()));
+  stats_.kv_waste_sum += cache_->stats().waste();
+
+  std::vector<Sequence> keep;
+  keep.reserve(running_.size());
+  for (size_t i = 0; i < running_.size(); ++i) {
+    Sequence& s = running_[i];
+    ++s.cached;
+    if (sampled[i] >= 0) {
+      s.tokens.push_back(sampled[i]);
+      ++s.generated;
+      ++stats_.tokens_generated;
+      if (!s.first_token_done) {
+        s.first_token_done = true;
+        s.first_token_s = t - s.submit_time;
+      } else {
+        s.intervals.push_back(t - s.last_token_time);
+      }
+      s.last_token_time = t;
+    }
+    if (s.generated >= s.req.max_new_tokens) {
+      done.push_back(retire(std::move(s), FinishReason::kCompleted));
+    } else if (s.cached >= engine_.layout().max_ctx) {
+      // The next feed position would fall outside the trained window —
+      // the batch analogue of generate()'s ContextOverflowError.
+      done.push_back(retire(std::move(s), FinishReason::kContextOverflow));
+    } else {
+      keep.push_back(std::move(s));
+    }
+  }
+  running_ = std::move(keep);
+  return done;
+}
+
+}  // namespace mls::serve

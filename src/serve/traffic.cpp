@@ -1,0 +1,99 @@
+#include "serve/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mls::serve {
+
+namespace {
+
+// CDF over ranks 1..n with p(rank) ∝ rank^-exponent (the same
+// construction data::ZipfDataset uses for token frequencies).
+std::vector<double> zipf_cdf(int64_t n, double exponent) {
+  std::vector<double> cdf(static_cast<size_t>(n));
+  double acc = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    acc += std::pow(static_cast<double>(i + 1), -exponent);
+    cdf[static_cast<size_t>(i)] = acc;
+  }
+  for (auto& c : cdf) c /= acc;
+  return cdf;
+}
+
+}  // namespace
+
+ClosedLoopTraffic::ClosedLoopTraffic(const TrafficConfig& cfg, int64_t vocab,
+                                     int64_t max_ctx)
+    : cfg_(cfg),
+      prompts_(vocab, cfg.zipf_exponent, cfg.seed ^ 0x9e3779b97f4a7c15ull),
+      rng_(cfg.seed) {
+  MLS_CHECK_GT(cfg_.clients, 0);
+  MLS_CHECK_GT(cfg_.total_requests, 0);
+  if (cfg_.prompt_max <= 0) cfg_.prompt_max = std::max<int64_t>(1, max_ctx / 2);
+  if (cfg_.out_max <= 0) cfg_.out_max = std::max<int64_t>(1, max_ctx / 2);
+  MLS_CHECK_LE(cfg_.prompt_min, cfg_.prompt_max);
+  MLS_CHECK_LE(cfg_.out_min, cfg_.out_max);
+  prompt_cdf_ = zipf_cdf(cfg_.prompt_max - cfg_.prompt_min + 1,
+                         cfg_.zipf_exponent);
+  out_cdf_ = zipf_cdf(cfg_.out_max - cfg_.out_min + 1, cfg_.zipf_exponent);
+  client_ready_.assign(static_cast<size_t>(cfg_.clients), 0);
+  client_busy_.assign(static_cast<size_t>(cfg_.clients), false);
+}
+
+int64_t ClosedLoopTraffic::zipf_len(const std::vector<double>& cdf,
+                                    int64_t lo) {
+  const double u = rng_.next_uniform();
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  return lo + static_cast<int64_t>(it - cdf.begin());
+}
+
+std::vector<Request> ClosedLoopTraffic::arrivals(int64_t step) {
+  std::vector<Request> out;
+  for (int64_t c = 0; c < cfg_.clients && issued_ < cfg_.total_requests; ++c) {
+    const size_t ci = static_cast<size_t>(c);
+    if (client_busy_[ci] || client_ready_[ci] > step) continue;
+    Request r;
+    r.id = issued_++;
+    const int64_t plen = zipf_len(prompt_cdf_, cfg_.prompt_min);
+    r.prompt = prompts_.next_batch(plen, 1).tokens;
+    r.max_new_tokens = zipf_len(out_cdf_, cfg_.out_min);
+    r.temperature = cfg_.temperature;
+    r.seed = cfg_.seed ^ (0x517cc1b7ull * static_cast<uint64_t>(r.id + 1));
+    owner_.push_back(c);
+    client_busy_[ci] = true;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+void ClosedLoopTraffic::on_complete(const Completion& c, int64_t step) {
+  MLS_CHECK(c.request.id >= 0 &&
+            c.request.id < static_cast<int64_t>(owner_.size()));
+  const size_t ci = static_cast<size_t>(owner_[static_cast<size_t>(c.request.id)]);
+  MLS_CHECK(client_busy_[ci]);
+  client_busy_[ci] = false;
+  client_ready_[ci] = step + 1;  // one think-step, then resubmit
+  ++completed_;
+}
+
+std::vector<Completion> run_closed_loop(ContinuousBatchScheduler& sched,
+                                        ClosedLoopTraffic& traffic,
+                                        int64_t max_steps) {
+  std::vector<Completion> out;
+  int64_t steps = 0;
+  while (!traffic.done()) {
+    MLS_CHECK_LT(steps++, max_steps) << "serving loop did not converge";
+    for (Request& r : traffic.arrivals(sched.current_step())) {
+      sched.submit(std::move(r));
+    }
+    for (Completion& c : sched.step()) {
+      traffic.on_complete(c, sched.current_step());
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+}  // namespace mls::serve

@@ -1,0 +1,69 @@
+// Closed-loop traffic generator: a fixed population of client streams,
+// each holding one request in flight — submit, wait for the
+// completion, think for one step, submit again — with zipfian
+// prompt/output lengths and zipfian token content (src/data).
+//
+// Arrivals are keyed to scheduler steps, not wall-clock, so the same
+// (seed, config) produces the same request stream on every TP rank and
+// every run — the whole serving loop stays deterministic and the
+// equivalence tests can replay it against model::generate().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "serve/scheduler.h"
+
+namespace mls::serve {
+
+struct TrafficConfig {
+  int64_t clients = 64;          // concurrent streams
+  int64_t total_requests = 256;  // stop after this many completions
+  // Length skew: rank-r lengths get probability ∝ r^-exponent, mapped
+  // onto [min, max] (short prompts/outputs common, long ones rare).
+  double zipf_exponent = 1.1;
+  int64_t prompt_min = 1;
+  int64_t prompt_max = 0;  // 0: half the model window
+  int64_t out_min = 1;
+  int64_t out_max = 0;  // 0: half the model window
+  float temperature = 0.0f;
+  uint64_t seed = 7;
+};
+
+class ClosedLoopTraffic {
+ public:
+  ClosedLoopTraffic(const TrafficConfig& cfg, int64_t vocab, int64_t max_ctx);
+
+  // Requests whose clients are ready at `step` (submit-on-ready, at
+  // most one in flight per client). Call once per scheduler step.
+  std::vector<Request> arrivals(int64_t step);
+  // Report a completion back to its client (ready again next step).
+  void on_complete(const Completion& c, int64_t step);
+
+  bool done() const { return completed_ >= cfg_.total_requests; }
+  int64_t completed() const { return completed_; }
+  int64_t issued() const { return issued_; }
+
+ private:
+  int64_t zipf_len(const std::vector<double>& cdf, int64_t lo);
+
+  TrafficConfig cfg_;
+  data::ZipfDataset prompts_;
+  Rng rng_;
+  std::vector<double> prompt_cdf_, out_cdf_;
+  std::vector<int64_t> client_ready_;  // step at which client may submit
+  std::vector<bool> client_busy_;
+  std::vector<int64_t> owner_;  // request id -> client
+  int64_t issued_ = 0;
+  int64_t completed_ = 0;
+};
+
+// Drives scheduler and traffic to completion; returns every completion
+// in retirement order. `max_steps` guards against livelock in tests.
+std::vector<Completion> run_closed_loop(ContinuousBatchScheduler& sched,
+                                        ClosedLoopTraffic& traffic,
+                                        int64_t max_steps = 1 << 20);
+
+}  // namespace mls::serve

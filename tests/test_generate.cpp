@@ -139,20 +139,36 @@ TEST(Generate, PromptLongerThanContextIsRejected) {
   });
 }
 
-TEST(Generate, WindowSlidesPastContextLength) {
+TEST(Generate, PastContextLengthIsStructuredError) {
+  // Positions beyond the trained window used to slide out silently;
+  // they are now an explicit ContextOverflowError carrying the numbers.
   ModelConfig cfg = ModelConfig::tiny(1, 1);
   cfg.b = 1;
   cfg.dropout_p = 0.0f;
   spmd::run(1, [&](comm::Comm& c) {
     model::GPTModel m(cfg, c);
     model::GenerateOptions o;
-    o.max_new_tokens = cfg.s * 2;  // forces the window to slide
-    const auto out = model::generate(m, {0}, o);
-    EXPECT_EQ(static_cast<int64_t>(out.size()), 1 + cfg.s * 2);
-    for (auto t : out) {
-      EXPECT_GE(t, 0);
-      EXPECT_LT(t, cfg.v);
+    o.max_new_tokens = cfg.s * 2;  // would need positions >= s
+    try {
+      model::generate(m, {0}, o);
+      FAIL() << "expected ContextOverflowError";
+    } catch (const model::ContextOverflowError& e) {
+      EXPECT_EQ(e.position(), cfg.s);
+      EXPECT_EQ(e.context(), cfg.s);
     }
+
+    // The exact window fill is still fine: a 1-token prompt may
+    // generate s tokens (the last feed is position s - 1) ...
+    o.max_new_tokens = cfg.s;
+    const auto out = model::generate(m, {0}, o);
+    EXPECT_EQ(static_cast<int64_t>(out.size()), cfg.s + 1);
+    // ... and asking for one more throws, leaving the model usable.
+    o.max_new_tokens = cfg.s + 1;
+    EXPECT_THROW(model::generate(m, {0}, o), model::ContextOverflowError);
+    EXPECT_EQ(model::generate(m, {0},
+                              {.max_new_tokens = 2, .temperature = 0.0f})
+                  .size(),
+              3u);
   });
 }
 
