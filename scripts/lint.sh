@@ -1,239 +1,275 @@
 #!/usr/bin/env bash
 # Custom greppable lint checks for hazards clang-tidy does not model in
 # this codebase (thread-per-rank simulator; see DESIGN.md "Analysis
-# layer"). Four checks, all heuristic but zero-noise on this repo:
+# layer"). Pure bash+grep+awk: runs on the minimal container image, no
+# clang tooling needed.
 #
-#   raw-lock         — a bare `foo_mu.lock()` on a mutex-named variable.
-#                      Locks must be held through std::lock_guard /
-#                      std::unique_lock / std::scoped_lock so an
-#                      exception (poisoned barrier, ledger mismatch)
-#                      cannot leave a mutex locked forever.
-#   comm-under-lock  — a blocking collective / p2p / barrier call made
-#                      while a lock guard is live in the enclosing
-#                      scope. A rank that blocks in a rendezvous while
-#                      holding a lock deadlocks any peer that needs the
-#                      same lock to reach its rendezvous.
-#   unwaited-handle  — a named CommHandle that is never wait()ed,
-#                      result()ed, abandon()ed, moved, stored, or
-#                      returned before its scope ends. Dropped handles
-#                      swallow errors from the async op (the runtime
-#                      leak audit catches this dynamically; this is the
-#                      static side).
-#   raw-storage      — tensor-scale float buffers allocated outside the
-#                      pool: `new float[...]` anywhere, or
-#                      `std::vector<float>` inside src/ outside
-#                      src/tensor + src/memory. All bulk float storage
-#                      must come from Storage (the per-rank caching
-#                      arena) so the pool's stats and high-water marks
-#                      see every buffer. Tests/bench/examples may use
-#                      vector<float> freely for host-side lists.
-#   serve-raw-buffer — a per-request buffer in src/serve allocated off
-#                      the pool: malloc/calloc, operator new[], or a
-#                      byte/float std::vector. Serving state scales
-#                      with concurrent sequences; KV blocks and decode
-#                      scratch must be Tensors (pool-arena storage) so
-#                      bench_serve's fragmentation and high-water
-#                      numbers see every byte. Bookkeeping vectors of
-#                      ids/indices/doubles are fine.
-#   hot-permute      — an ops::permute / ag::permute call in the model
-#                      hot path (src/core, src/model, src/pipeline,
-#                      src/train, src/runtime). The generic permute is
-#                      an element-at-a-time gather; hot-path layout
-#                      changes should use the specialized blocked
-#                      copies (ops::sbh_to_bhsd / bhsd_to_sbh) or a new
-#                      specialized kernel in tensor/kernels.h.
+# The checks form a declarative registry: every rule has a name, a
+# scanned-file filter, a one-line rationale, and a matcher function
+# `match_<rule>` that emits raw `file:line: message` hits. The driver
+# owns everything else — file discovery, the `// lint:allow(<rule>)`
+# suppression protocol (checked on the reported line, centrally), the
+# grouped output, and the exit status. Adding a rule = adding one row
+# to RULES plus one matcher function.
+#
+# Usage:
+#   lint.sh                 run every rule over the repo
+#   lint.sh --list          print the registry (name + rationale)
+#   lint.sh --only RULE     run a single rule
+#   lint.sh --root DIR      scan DIR instead of the repo root (the
+#                           self-test points this at fixture trees;
+#                           see scripts/lint_test.sh)
 #
 # Suppress a deliberate instance with a comment on the offending line:
-#   // lint:allow(raw-lock)
-#   // lint:allow(comm-under-lock)
-#   // lint:allow(unwaited-handle)
-#   // lint:allow(raw-storage)
-#   // lint:allow(serve-raw-buffer)
-#   // lint:allow(hot-permute)
-#
-# Exits nonzero if any check fires. Pure bash+grep+awk: runs on the
-# minimal container image, no clang tooling needed.
+#   // lint:allow(<rule-name>)
 set -u
 
-cd "$(dirname "$0")/.."
+# ------------------------------------------------------------ registry
+# name | rationale (shown in --list and in failure headers)
+RULES=(
+  "raw-lock|bare .lock() on a mutex-named variable: locks must be held through std::lock_guard / unique_lock / scoped_lock so an exception (poisoned barrier, ledger mismatch) cannot leave a mutex locked forever"
+  "comm-under-lock|blocking collective/p2p/barrier while a lock guard is live: a rank blocking in a rendezvous while holding a lock deadlocks any peer that needs the same lock to reach its rendezvous"
+  "unwaited-handle|a named CommHandle never wait()ed/result()ed/abandon()ed/moved/stored/returned: dropped handles swallow errors from the async op (the runtime leak audit is the dynamic side of this check)"
+  "raw-storage|tensor-scale float buffers allocated outside the pool: new float[] anywhere, or std::vector<float> in src/ outside src/tensor + src/memory — bulk float storage must come from Storage so the arena's stats see every buffer"
+  "serve-raw-buffer|per-request buffer in src/serve off the pool arena (malloc, new[], byte/float vectors): serving state scales with concurrent sequences; KV blocks and decode scratch must be Tensors so bench_serve's numbers see every byte"
+  "hot-permute|generic ops::/ag::permute on the model hot path (src/core, src/model, src/pipeline, src/train, src/runtime): it is an element-at-a-time gather; use the specialized blocked copies (ops::sbh_to_bhsd etc.)"
+)
 
-FILES=$(find src tests bench examples -name '*.cpp' -o -name '*.h' | sort)
-status=0
+rule_names() {
+  local row
+  for row in "${RULES[@]}"; do printf '%s\n' "${row%%|*}"; done
+}
 
-# ------------------------------------------------------------ raw-lock
-# Variables named *mu / *mutex / *mtx (with optional trailing _) must
-# not be locked manually.
-raw_lock=$(grep -nE '\b[A-Za-z_][A-Za-z0-9_]*(mu|mutex|mtx)_?\.lock\(\)' \
-    $FILES /dev/null 2>/dev/null | grep -v 'lint:allow(raw-lock)' || true)
-if [ -n "$raw_lock" ]; then
-  echo "lint: raw mutex .lock() without a guard (use std::lock_guard;"
-  echo "      suppress with // lint:allow(raw-lock)):"
-  echo "$raw_lock" | sed 's/^/  /'
-  status=1
-fi
+rule_rationale() {
+  local row
+  for row in "${RULES[@]}"; do
+    if [ "${row%%|*}" = "$1" ]; then
+      printf '%s\n' "${row#*|}"
+      return
+    fi
+  done
+}
 
-# ----------------------------------------------------- comm-under-lock
-# Brace-depth scan: after a std::{lock_guard,unique_lock,scoped_lock}
-# declaration, any blocking comm call before the guard's scope closes
-# is flagged. Condvar waits are not comm calls and do not trip this.
-comm_under_lock=$(awk '
-  FNR == 1 { depth = 0; nlocks = 0 }
-  {
-    line = $0
-    suppressed = (line ~ /lint:allow\(comm-under-lock\)/)
-    sub(/\/\/.*/, "", line)
-    gsub(/"([^"\\]|\\.)*"/, "\"\"", line)
-    is_lock = (line ~ /std::(lock_guard|unique_lock|scoped_lock)[ \t]*</)
-    is_comm = (line ~ /\.(all_reduce|all_gather|reduce_scatter|broadcast|barrier|recv|send)[ \t]*\(/ \
-               || line ~ /\.arrive_and_wait[ \t]*\(/)
-    if (is_comm && nlocks > 0 && !suppressed && !is_lock)
-      printf "  %s:%d: blocking comm call while a lock guard is live\n", \
-             FILENAME, FNR
-    n = length(line)
-    for (i = 1; i <= n; i++) {
-      ch = substr(line, i, 1)
-      if (ch == "{") depth++
-      else if (ch == "}") {
-        depth--
-        while (nlocks > 0 && lockdepth[nlocks] > depth) nlocks--
-      }
-    }
-    if (is_lock) { nlocks++; lockdepth[nlocks] = depth }
-  }
-' $FILES)
-if [ -n "$comm_under_lock" ]; then
-  echo "lint: blocking collective/p2p while holding a lock (deadlocks the"
-  echo "      peer rank; suppress with // lint:allow(comm-under-lock)):"
-  echo "$comm_under_lock"
-  status=1
-fi
+# ------------------------------------------------------------ matchers
+# Each matcher reads the newline-separated scanned file list on stdin
+# and emits raw hits as `file:line: message` (no indent, no
+# suppression handling — the driver does both).
 
-# ----------------------------------------------------- unwaited-handle
-# A `CommHandle name = ...` (or `auto name = c.i*(...)`) declaration
-# must be settled — name.wait()/result()/abandon(), std::move(name),
-# push_back/emplace_back(name), or `return name` — before the first
-# column-0 `}` (end of the enclosing function) after it.
-unwaited=$(awk '
-  function settles(line, name) {
-    return (line ~ ("(^|[^A-Za-z0-9_])" name "\\.(wait|result|abandon)[ \t]*\\(") \
-            || line ~ ("std::move\\([ \t]*" name "[ \t]*\\)") \
-            || line ~ ("(push_back|emplace_back)\\([ \t]*" name "([ \t]*\\)|,)") \
-            || line ~ ("return[ \t]+" name "[ \t]*;"))
-  }
-  FNR == 1 { nh = 0 }
-  {
-    line = $0
-    sub(/\/\/.*/, "", line)
-    decl = ""
-    if (line ~ /^[ \t]*(comm::)?CommHandle[ \t]+[A-Za-z_][A-Za-z0-9_]*[ \t]*=/) {
-      decl = line
-      sub(/^[ \t]*(comm::)?CommHandle[ \t]+/, "", decl)
-    } else if (line ~ /^[ \t]*auto[ \t]+[A-Za-z_][A-Za-z0-9_]*[ \t]*=[^=].*\.i(all_reduce|all_gather|reduce_scatter|send|recv)[ \t]*\(/) {
-      decl = line
-      sub(/^[ \t]*auto[ \t]+/, "", decl)
-    }
-    if (decl != "" && $0 !~ /lint:allow\(unwaited-handle\)/ \
-        && line !~ /\.(wait|result|abandon)[ \t]*\(/) {
-      sub(/[ \t]*=.*/, "", decl)
-      nh++; hname[nh] = decl; hline[nh] = FNR; done[nh] = 0
-    }
-    for (i = 1; i <= nh; i++)
-      if (!done[i] && FNR > hline[i] && settles(line, hname[i])) done[i] = 1
-    if ($0 ~ /^}/) {
-      for (i = 1; i <= nh; i++)
-        if (!done[i])
-          printf "  %s:%d: CommHandle \x27%s\x27 never waited/result/abandoned\n", \
-                 FILENAME, hline[i], hname[i]
-      nh = 0
-    }
-  }
-  END {
-    for (i = 1; i <= nh; i++)
-      if (!done[i])
-        printf "  %s:%d: CommHandle \x27%s\x27 never waited/result/abandoned\n", \
-               FILENAME, hline[i], hname[i]
-  }
-' $FILES)
-if [ -n "$unwaited" ]; then
-  echo "lint: CommHandle dropped without wait()/result()/abandon() (errors"
-  echo "      from the async op are lost; suppress with"
-  echo "      // lint:allow(unwaited-handle)):"
-  echo "$unwaited"
-  status=1
-fi
+match_raw_lock() {
+  # Variables named *mu / *mutex / *mtx (with optional trailing _)
+  # must not be locked manually.
+  xargs -r grep -nE '\b[A-Za-z_][A-Za-z0-9_]*(mu|mutex|mtx)_?\.lock\(\)' \
+      /dev/null 2>/dev/null |
+    awk -F: '{printf "%s:%s: raw mutex .lock() without a guard\n", $1, $2}'
+}
 
-# --------------------------------------------------------- raw-storage
-# Bulk float storage must come from the pool (tensor/storage.h). Comment
-# text and string literals are stripped before matching.
-raw_storage=$(awk '
-  {
-    line = $0
-    suppressed = (line ~ /lint:allow\(raw-storage\)/)
-    sub(/\/\/.*/, "", line)
-    gsub(/"([^"\\]|\\.)*"/, "\"\"", line)
-    hit = 0
-    if (line ~ /(^|[^A-Za-z0-9_])new[ \t]+float[ \t]*\[/) hit = 1
-    if (FILENAME ~ /^src\// && FILENAME !~ /^src\/(tensor|memory)\// \
-        && line ~ /std::vector[ \t]*<[ \t]*float[ \t]*>/) hit = 1
-    if (hit && !suppressed)
-      printf "  %s:%d: raw float buffer bypasses the pool allocator\n", \
-             FILENAME, FNR
-  }
-' $FILES)
-if [ -n "$raw_storage" ]; then
-  echo "lint: raw float storage outside src/tensor + src/memory (allocate"
-  echo "      through Tensor/Storage so the arena accounts for it;"
-  echo "      suppress with // lint:allow(raw-storage)):"
-  echo "$raw_storage"
-  status=1
-fi
-
-# ---------------------------------------------------- serve-raw-buffer
-# Per-request serving state bypassing the pool arena. Stricter than
-# raw-storage: also catches malloc/calloc and byte-scale vectors, which
-# in src/serve are per-sequence payloads (KV, token scratch), not
-# bookkeeping.
-serve_files=$(echo "$FILES" | grep -E '^src/serve/' || true)
-serve_raw=""
-if [ -n "$serve_files" ]; then
-  serve_raw=$(awk '
+match_comm_under_lock() {
+  # Brace-depth scan: after a std::{lock_guard,unique_lock,scoped_lock}
+  # declaration, any blocking comm call before the guard's scope closes
+  # is flagged. Condvar waits are not comm calls and do not trip this.
+  xargs -r awk '
+    FNR == 1 { depth = 0; nlocks = 0 }
     {
       line = $0
-      suppressed = (line ~ /lint:allow\(serve-raw-buffer\)/)
+      sub(/\/\/.*/, "", line)
+      gsub(/"([^"\\]|\\.)*"/, "\"\"", line)
+      is_lock = (line ~ /std::(lock_guard|unique_lock|scoped_lock)[ \t]*</)
+      is_comm = (line ~ /\.(all_reduce|all_gather|reduce_scatter|broadcast|barrier|recv|send)[ \t]*\(/ \
+                 || line ~ /\.arrive_and_wait[ \t]*\(/)
+      if (is_comm && nlocks > 0 && !is_lock)
+        printf "%s:%d: blocking comm call while a lock guard is live\n", \
+               FILENAME, FNR
+      n = length(line)
+      for (i = 1; i <= n; i++) {
+        ch = substr(line, i, 1)
+        if (ch == "{") depth++
+        else if (ch == "}") {
+          depth--
+          while (nlocks > 0 && lockdepth[nlocks] > depth) nlocks--
+        }
+      }
+      if (is_lock) { nlocks++; lockdepth[nlocks] = depth }
+    }
+  '
+}
+
+match_unwaited_handle() {
+  # A `CommHandle name = ...` (or `auto name = c.i*(...)`) declaration
+  # must be settled — name.wait()/result()/abandon(), std::move(name),
+  # push_back/emplace_back(name), or `return name` — before the first
+  # column-0 `}` (end of the enclosing function) after it.
+  xargs -r awk '
+    function settles(line, name) {
+      return (line ~ ("(^|[^A-Za-z0-9_])" name "\\.(wait|result|abandon)[ \t]*\\(") \
+              || line ~ ("std::move\\([ \t]*" name "[ \t]*\\)") \
+              || line ~ ("(push_back|emplace_back)\\([ \t]*" name "([ \t]*\\)|,)") \
+              || line ~ ("return[ \t]+" name "[ \t]*;"))
+    }
+    FNR == 1 { nh = 0 }
+    {
+      line = $0
+      sub(/\/\/.*/, "", line)
+      decl = ""
+      if (line ~ /^[ \t]*(comm::)?CommHandle[ \t]+[A-Za-z_][A-Za-z0-9_]*[ \t]*=/) {
+        decl = line
+        sub(/^[ \t]*(comm::)?CommHandle[ \t]+/, "", decl)
+      } else if (line ~ /^[ \t]*auto[ \t]+[A-Za-z_][A-Za-z0-9_]*[ \t]*=[^=].*\.i(all_reduce|all_gather|reduce_scatter|send|recv)[ \t]*\(/) {
+        decl = line
+        sub(/^[ \t]*auto[ \t]+/, "", decl)
+      }
+      if (decl != "" && line !~ /\.(wait|result|abandon)[ \t]*\(/) {
+        sub(/[ \t]*=.*/, "", decl)
+        nh++; hname[nh] = decl; hline[nh] = FNR; done[nh] = 0
+      }
+      for (i = 1; i <= nh; i++)
+        if (!done[i] && FNR > hline[i] && settles(line, hname[i])) done[i] = 1
+      if ($0 ~ /^}/) {
+        for (i = 1; i <= nh; i++)
+          if (!done[i])
+            printf "%s:%d: CommHandle \x27%s\x27 never waited/result/abandoned\n", \
+                   FILENAME, hline[i], hname[i]
+        nh = 0
+      }
+    }
+    END {
+      for (i = 1; i <= nh; i++)
+        if (!done[i])
+          printf "%s:%d: CommHandle \x27%s\x27 never waited/result/abandoned\n", \
+                 FILENAME, hline[i], hname[i]
+    }
+  '
+}
+
+match_raw_storage() {
+  # Comment text and string literals are stripped before matching. The
+  # vector<float> arm applies only inside src/ (tests/bench/examples
+  # may use host-side float lists freely) and exempts the pool itself.
+  xargs -r awk '
+    {
+      line = $0
+      sub(/\/\/.*/, "", line)
+      gsub(/"([^"\\]|\\.)*"/, "\"\"", line)
+      hit = 0
+      if (line ~ /(^|[^A-Za-z0-9_])new[ \t]+float[ \t]*\[/) hit = 1
+      if (FILENAME ~ /(^|\/)src\// && FILENAME !~ /(^|\/)src\/(tensor|memory)\// \
+          && line ~ /std::vector[ \t]*<[ \t]*float[ \t]*>/) hit = 1
+      if (hit)
+        printf "%s:%d: raw float buffer bypasses the pool allocator\n", \
+               FILENAME, FNR
+    }
+  '
+}
+
+match_serve_raw_buffer() {
+  # Stricter than raw-storage: also catches malloc/calloc and
+  # byte-scale vectors, which in src/serve are per-sequence payloads
+  # (KV, token scratch), not bookkeeping. Vectors of ids/indices/
+  # doubles are fine.
+  xargs -r awk '
+    {
+      line = $0
       sub(/\/\/.*/, "", line)
       gsub(/"([^"\\]|\\.)*"/, "\"\"", line)
       hit = 0
       if (line ~ /(^|[^A-Za-z0-9_])(malloc|calloc|realloc)[ \t]*\(/) hit = 1
       if (line ~ /(^|[^A-Za-z0-9_])new[ \t]+(float|char|unsigned[ \t]+char|(std::)?uint8_t)[ \t]*\[/) hit = 1
       if (line ~ /std::vector[ \t]*<[ \t]*(float|char|unsigned[ \t]+char|(std::)?uint8_t)[ \t]*>/) hit = 1
-      if (hit && !suppressed)
-        printf "  %s:%d: per-request buffer allocated off the pool arena\n", \
+      if (hit)
+        printf "%s:%d: per-request buffer allocated off the pool arena\n", \
                FILENAME, FNR
     }
-  ' $serve_files)
-fi
-if [ -n "$serve_raw" ]; then
-  echo "lint: raw per-request buffer in src/serve (KV blocks and decode"
-  echo "      scratch must be Tensors so the arena and bench_serve account"
-  echo "      for them; suppress with // lint:allow(serve-raw-buffer)):"
-  echo "$serve_raw"
-  status=1
-fi
+  '
+}
 
-# --------------------------------------------------------- hot-permute
-# Generic permute on the model hot path. The autograd PermuteNode and
-# comm-layer staging keep their generic calls (not matched: they live
-# in src/autograd and src/comm); layers/models/pipeline must use the
-# specialized layout kernels.
-hot_permute=$(grep -nE '\b(ops|ag)::permute[ \t]*\(' \
-    $(echo "$FILES" | grep -E '^src/(core|model|pipeline|train|runtime)/' || true) \
-    /dev/null 2>/dev/null | grep -v 'lint:allow(hot-permute)' || true)
-if [ -n "$hot_permute" ]; then
-  echo "lint: generic permute on a hot path (use the specialized layout"
-  echo "      kernels in tensor/kernels.h, e.g. ops::sbh_to_bhsd;"
-  echo "      suppress with // lint:allow(hot-permute)):"
-  echo "$hot_permute" | sed 's/^/  /'
-  status=1
+match_hot_permute() {
+  # The autograd PermuteNode and comm-layer staging keep their generic
+  # calls (their files are filtered out below); layers/models/pipeline
+  # must use the specialized layout kernels.
+  xargs -r grep -nE '\b(ops|ag)::permute[ \t]*\(' /dev/null 2>/dev/null |
+    awk -F: '{printf "%s:%s: generic permute on a hot path\n", $1, $2}'
+}
+
+# Per-rule file filter: which of the scanned files a rule looks at.
+files_for_rule() {
+  case "$1" in
+    serve-raw-buffer) grep -E '(^|/)src/serve/' || true ;;
+    hot-permute) grep -E '(^|/)src/(core|model|pipeline|train|runtime)/' || true ;;
+    *) cat ;;
+  esac
+}
+
+# -------------------------------------------------------------- driver
+
+# Drops hits whose reported source line carries the rule's
+# lint:allow(...) suppression comment.
+filter_suppressed() {
+  local rule="$1" hit file line
+  while IFS= read -r hit; do
+    [ -z "$hit" ] && continue
+    file="${hit%%:*}"
+    line="${hit#*:}"
+    line="${line%%:*}"
+    if sed -n "${line}p" "$file" 2>/dev/null |
+        grep -qF "lint:allow(${rule})"; then
+      continue
+    fi
+    printf '%s\n' "$hit"
+  done
+}
+
+run_rule() {
+  local rule="$1" files hits
+  files=$(printf '%s\n' "$FILES" | files_for_rule "$rule")
+  [ -z "$files" ] && return 0
+  hits=$(printf '%s\n' "$files" |
+      "match_$(printf '%s' "$rule" | tr - _)" |
+      filter_suppressed "$rule")
+  [ -z "$hits" ] && return 0
+  echo "lint: ${rule}: $(rule_rationale "$rule")"
+  echo "      (suppress with // lint:allow(${rule}))"
+  printf '%s\n' "$hits" | sed 's/^/  /'
+  return 1
+}
+
+root="$(dirname "$0")/.."
+only=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --list)
+      while IFS= read -r name; do
+        printf '%-18s %s\n' "$name" "$(rule_rationale "$name")"
+      done < <(rule_names)
+      exit 0
+      ;;
+    --only)
+      only="$2"
+      shift
+      ;;
+    --root)
+      root="$2"
+      shift
+      ;;
+    *)
+      echo "usage: lint.sh [--list] [--only RULE] [--root DIR]" >&2
+      exit 2
+      ;;
+  esac
+  shift
+done
+
+cd "$root"
+FILES=$(find src tests bench examples \( -name '*.cpp' -o -name '*.h' \) \
+    2>/dev/null | sort)
+
+status=0
+while IFS= read -r name; do
+  if [ -n "$only" ] && [ "$name" != "$only" ]; then continue; fi
+  run_rule "$name" || status=1
+done < <(rule_names)
+
+if [ -n "$only" ] && ! rule_names | grep -qx "$only"; then
+  echo "lint: unknown rule '$only' (see --list)" >&2
+  exit 2
 fi
 
 if [ "$status" -eq 0 ]; then

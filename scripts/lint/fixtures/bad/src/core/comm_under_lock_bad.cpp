@@ -1,0 +1,5 @@
+// Lint fixture (never compiled): MUST fire comm-under-lock.
+void exchange(comm::Comm& c, Tensor& x, std::mutex& mu) {
+  std::lock_guard<std::mutex> g(mu);
+  c.all_reduce(x);
+}

@@ -1,0 +1,11 @@
+// Lint fixture (never compiled): MUST fire raw-lock.
+#pragma once
+#include <mutex>
+
+struct RankState {
+  std::mutex state_mu;
+  void touch() {
+    state_mu.lock();
+    state_mu.unlock();
+  }
+};

@@ -1,0 +1,6 @@
+// Lint fixture (never compiled): MUST fire raw-storage (twice).
+void stage_partials() {
+  float* scratch = new float[1024];
+  std::vector<float> partials(64);
+  delete[] scratch;
+}

@@ -1,0 +1,5 @@
+// Lint fixture (never compiled): MUST fire unwaited-handle.
+void fire_and_forget(comm::Comm& c, Tensor& x) {
+  CommHandle pending = c.iall_reduce(x);
+  x.zero();
+}

@@ -1,0 +1,4 @@
+// Lint fixture (never compiled): MUST fire hot-permute.
+Tensor to_bhsd(const Tensor& x) {
+  return ops::permute(x, {1, 0, 2});
+}

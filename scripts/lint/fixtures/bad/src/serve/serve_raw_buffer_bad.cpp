@@ -1,0 +1,6 @@
+// Lint fixture (never compiled): MUST fire serve-raw-buffer (twice).
+void cache_sequence() {
+  void* region = malloc(4096);
+  std::vector<uint8_t> kv_bytes(4096);
+  free(region);
+}

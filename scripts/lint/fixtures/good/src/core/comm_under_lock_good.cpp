@@ -1,0 +1,15 @@
+// Lint fixture (never compiled): must NOT fire comm-under-lock — the
+// guard's scope closes before the collective, and a suppressed
+// deliberate case.
+void exchange(comm::Comm& c, Tensor& x, std::mutex& mu) {
+  {
+    std::lock_guard<std::mutex> g(mu);
+    x.zero();
+  }
+  c.all_reduce(x);
+}
+
+void deliberate(comm::Comm& c, std::mutex& mu) {
+  std::lock_guard<std::mutex> g(mu);
+  c.barrier();  // lint:allow(comm-under-lock)
+}

@@ -1,0 +1,13 @@
+// Lint fixture (never compiled): must NOT fire raw-lock — guard
+// idiom plus a deliberately suppressed manual lock.
+#pragma once
+#include <mutex>
+
+struct RankState {
+  std::mutex state_mu;
+  void touch() { std::lock_guard<std::mutex> g(state_mu); }
+  void pin_for_handoff() {
+    state_mu.lock();  // lint:allow(raw-lock)
+    state_mu.unlock();
+  }
+};

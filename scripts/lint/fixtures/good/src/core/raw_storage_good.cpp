@@ -1,0 +1,11 @@
+// Lint fixture (never compiled): must NOT fire raw-storage — pooled
+// tensors and non-float bookkeeping are fine, and a suppressed
+// host-side staging vector.
+void stage_partials() {
+  Tensor scratch = Tensor::zeros(Shape{{1024}});
+  std::vector<int64_t> offsets(64);
+}
+
+void host_staging() {
+  std::vector<float> staged(8);  // lint:allow(raw-storage)
+}

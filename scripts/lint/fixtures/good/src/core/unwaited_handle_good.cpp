@@ -1,0 +1,21 @@
+// Lint fixture (never compiled): must NOT fire unwaited-handle —
+// every handle is settled (waited, returned, moved into storage) or
+// explicitly suppressed.
+void waited(comm::Comm& c, Tensor& x) {
+  CommHandle h = c.iall_reduce(x);
+  h.wait();
+}
+
+CommHandle returned(comm::Comm& c, Tensor& x) {
+  CommHandle h = c.iall_reduce(x);
+  return h;
+}
+
+void stored(comm::Comm& c, Tensor& x, std::vector<comm::CommHandle>& out) {
+  auto pending = c.isend(x, 1, 7);
+  out.push_back(std::move(pending));
+}
+
+void fire_and_forget(comm::Comm& c, Tensor& x) {
+  CommHandle h = c.iall_reduce(x);  // lint:allow(unwaited-handle)
+}

@@ -1,0 +1,9 @@
+// Lint fixture (never compiled): must NOT fire hot-permute — the
+// specialized layout kernel, plus a suppressed boundary case.
+Tensor to_bhsd(const Tensor& x) {
+  return ops::sbh_to_bhsd(x, 4);
+}
+
+Tensor odd_layout(const Tensor& x) {
+  return ops::permute(x, {2, 0, 1});  // lint:allow(hot-permute)
+}

@@ -1,0 +1,10 @@
+// Lint fixture (never compiled): must NOT fire serve-raw-buffer —
+// id/latency bookkeeping is fine, and a suppressed wire buffer.
+void bookkeeping() {
+  std::vector<int64_t> block_table;
+  std::vector<double> step_latencies;
+}
+
+void pinned_wire_io() {
+  std::vector<uint8_t> frame;  // lint:allow(serve-raw-buffer)
+}

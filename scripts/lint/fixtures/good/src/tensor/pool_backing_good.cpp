@@ -1,0 +1,5 @@
+// Lint fixture (never compiled): must NOT fire raw-storage — the pool
+// itself (src/tensor, src/memory) owns its raw float backing.
+void arena_grow() {
+  std::vector<float> backing(1 << 20);
+}

@@ -1,0 +1,6 @@
+// Lint fixture (never compiled): must NOT fire raw-storage — tests
+// may collect host-side float lists freely.
+void collect_losses() {
+  std::vector<float> losses;
+  losses.push_back(0.5f);
+}

@@ -1,0 +1,46 @@
+#include "analysis/static/budget.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "analysis/static/trace_serve.h"
+
+namespace mls::verify {
+
+StaticBudget compute_budget(const model::ModelConfig& cfg, const Plan& plan) {
+  StaticBudget b;
+  b.technique = memory::technique_of(cfg);
+  b.act_bytes_per_layer = memory::act_bytes_per_layer(cfg, b.technique);
+  b.total_first_stage =
+      memory::total_activation_bytes_first_stage(cfg, b.technique);
+  b.model_state_bytes = memory::model_state_bytes_per_rank(cfg).total();
+  b.kv_bytes_per_token = kv_layout_of(cfg, 1).logical_bytes_per_token();
+  for (const Group& g : plan.groups) {
+    for (int r = 0; r < g.size(); ++r) {
+      const comm::TrafficStats st = predict_traffic(plan, g.name, r);
+      b.train_wire_bytes +=
+          st.bytes_received + st.p2p_bytes_sent;  // sent==recv'd on the wire
+    }
+  }
+  return b;
+}
+
+std::vector<Violation> check_budget_claim(const model::ModelConfig& cfg,
+                                          double claimed_bytes_per_layer,
+                                          const std::string& claim_site) {
+  const memory::Technique tech = memory::technique_of(cfg);
+  const double expected = memory::act_bytes_per_layer(cfg, tech);
+  if (claimed_bytes_per_layer == expected) return {};
+  std::ostringstream os;
+  os << "Table-2 byte mismatch for technique '"
+     << memory::technique_name(tech) << "' (s=" << cfg.s << " b=" << cfg.b
+     << " h=" << cfg.h << " a=" << cfg.a << " t=" << cfg.t << "):\n"
+     << "  formula (memory/activation_model.h act_bytes_per_layer): "
+     << expected << " bytes/layer\n"
+     << "  claimed (" << claim_site << "): " << claimed_bytes_per_layer
+     << " bytes/layer\n"
+     << "  drift: " << claimed_bytes_per_layer - expected << " bytes";
+  return {Violation{"budget", "", os.str()}};
+}
+
+}  // namespace mls::verify

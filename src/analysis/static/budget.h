@@ -1,0 +1,40 @@
+// The machine-checkable byte budget (DESIGN.md §12): Table-2 activation
+// bytes, model-state bytes, serve KV bytes and total wire traffic for a
+// config, computed symbolically — plus a claim checker that turns a
+// wrong byte formula into a structured two-source violation (the
+// analytic model's formula vs the claimant's number).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/static/verify.h"
+#include "memory/activation_model.h"
+#include "model/config.h"
+
+namespace mls::verify {
+
+struct StaticBudget {
+  memory::Technique technique;        // Table 2 row implied by the config
+  double act_bytes_per_layer = 0;     // Table 2
+  double total_first_stage = 0;       // Eq 5 + interleaving + extras
+  double model_state_bytes = 0;       // Fig 1 (params+grads+optimizer)
+  int64_t kv_bytes_per_token = 0;     // serve: 2*2*(h/t)*L logical bytes
+  // Wire traffic of one training iteration, summed over every group
+  // rank of every group in the plan (bytes_received + p2p bytes).
+  int64_t train_wire_bytes = 0;
+};
+
+// The budget implied by `cfg`; `plan` supplies the traffic totals (pass
+// the trace_train_iteration plan for the same config).
+StaticBudget compute_budget(const model::ModelConfig& cfg, const Plan& plan);
+
+// Checks a claimed per-layer activation byte count against the Table-2
+// formula for the config's technique. `claim_site` names where the
+// claim came from; the violation names both it and the formula.
+std::vector<Violation> check_budget_claim(const model::ModelConfig& cfg,
+                                          double claimed_bytes_per_layer,
+                                          const std::string& claim_site);
+
+}  // namespace mls::verify

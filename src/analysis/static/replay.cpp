@@ -1,0 +1,108 @@
+#include "analysis/static/replay.h"
+
+#include <sstream>
+
+#include "analysis/report.h"
+
+namespace mls::verify {
+
+bool records_exactly_equal(const analysis::CommRecord& a,
+                           const analysis::CommRecord& b) {
+  return a.seq == b.seq && a.id == b.id && a.kind == b.kind &&
+         a.async == b.async && a.reduce_op == b.reduce_op &&
+         a.dtype == b.dtype && a.count == b.count && a.dim == b.dim &&
+         a.peer == b.peer && a.tag == b.tag && a.site == b.site;
+}
+
+void compare_ledger(const Plan& plan, const comm::Comm& comm,
+                    ReplayResult& out) {
+  if (!comm.valid() || comm.size() <= 1) return;
+  const std::string name = comm.group_name();
+  const auto history = comm.ledger_history();
+  if (history.empty()) return;  // analyzer off — nothing recorded
+  const Group* g = plan.find_group(name);
+  if (g == nullptr) {
+    out.violations.push_back(
+        {"replay", name,
+         "runtime group '" + name + "' has no static plan counterpart"});
+    return;
+  }
+  for (int grank = 0; grank < g->size(); ++grank) {
+    const auto expected = plan.expected_records(name, grank);
+    const auto& actual = history[static_cast<size_t>(grank)];
+    const size_t common = std::min(expected.size(), actual.size());
+    for (size_t i = 0; i < common; ++i) {
+      ++out.records_compared;
+      if (records_exactly_equal(expected[i], actual[i])) continue;
+      std::ostringstream os;
+      os << "replay drift in group '" << name << "' rank " << grank
+         << " at event " << i << ":\n  predicted: "
+         << analysis::format_record(expected[i])
+         << " (seq=" << expected[i].seq << " id=" << expected[i].id << ")"
+         << "\n  actual:    " << analysis::format_record(actual[i])
+         << " (seq=" << actual[i].seq << " id=" << actual[i].id << ")";
+      out.violations.push_back({"replay", name, os.str()});
+      return;  // later events shift after the first drift; stop here
+    }
+    if (expected.size() != actual.size()) {
+      std::ostringstream os;
+      os << "replay length mismatch in group '" << name << "' rank " << grank
+         << ": predicted " << expected.size() << " events, runtime recorded "
+         << actual.size();
+      if (actual.size() > common) {
+        os << "\n  first extra runtime event: "
+           << analysis::format_record(actual[common]);
+      } else if (expected.size() > common) {
+        os << "\n  first missing event: "
+           << analysis::format_record(expected[common]);
+      }
+      if (!actual.empty() && actual.front().id > 0) {
+        os << "\n  (runtime history starts at id " << actual.front().id
+           << " — raise Options::flight_depth to retain the full run)";
+      }
+      out.violations.push_back({"replay", name, os.str()});
+      return;
+    }
+  }
+}
+
+void compare_traffic(const Plan& plan, const comm::Comm& comm,
+                     ReplayResult& out) {
+  if (!comm.valid()) return;
+  const std::string name = comm.group_name();
+  const Group* g = plan.find_group(name);
+  if (g == nullptr) {
+    out.violations.push_back(
+        {"replay", name,
+         "runtime group '" + name + "' has no static plan counterpart"});
+    return;
+  }
+  const comm::TrafficStats want = predict_traffic(plan, name, comm.rank());
+  const comm::TrafficStats& got = comm.stats();
+  ++out.stats_compared;
+  std::ostringstream os;
+  auto field = [&os](const char* fname, int64_t w, int64_t a) {
+    if (w != a) {
+      os << "\n  " << fname << ": predicted " << w << ", runtime " << a;
+    }
+  };
+  field("bytes_received", want.bytes_received, got.bytes_received);
+  field("all_reduce_count", want.all_reduce_count, got.all_reduce_count);
+  field("all_gather_count", want.all_gather_count, got.all_gather_count);
+  field("reduce_scatter_count", want.reduce_scatter_count,
+        got.reduce_scatter_count);
+  field("broadcast_count", want.broadcast_count, got.broadcast_count);
+  field("p2p_send_count", want.p2p_send_count, got.p2p_send_count);
+  field("p2p_bytes_sent", want.p2p_bytes_sent, got.p2p_bytes_sent);
+  field("p2p_recv_count", want.p2p_recv_count, got.p2p_recv_count);
+  field("p2p_bytes_received", want.p2p_bytes_received, got.p2p_bytes_received);
+  const std::string diffs = os.str();
+  if (!diffs.empty()) {
+    out.violations.push_back(
+        {"replay", name,
+         "traffic drift in group '" + name + "' rank " +
+             std::to_string(comm.rank()) + ":" + diffs});
+  }
+}
+
+}  // namespace mls::verify

@@ -1,0 +1,46 @@
+// Record-replay mode: after a real run (analyzer on, flight_depth high
+// enough to retain everything), assert that the runtime's actual
+// CommRecord streams and TrafficStats equal the static plan's
+// prediction EXACTLY — every field of every record, every byte of every
+// counter. Zero drift is the acceptance bar: the static model is only a
+// proof if it is the same schedule, not a similar one.
+//
+// Usage (per rank, inside the spmd run):
+//   analysis::ScopedOptions so({.validate = true, .flight_depth = 1<<20});
+//   ... run the real iteration ...
+//   ReplayResult res;
+//   compare_ledger(plan, engine.tp_comm(), res);
+//   compare_traffic(plan, engine.tp_comm(), res);
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/static/verify.h"
+#include "comm/comm.h"
+
+namespace mls::verify {
+
+struct ReplayResult {
+  std::vector<Violation> violations;
+  int64_t records_compared = 0;
+  int64_t stats_compared = 0;
+  bool ok() const { return violations.empty(); }
+};
+
+// Field-exact comparison of two ledger-shaped records (everything but
+// the timestamps).
+bool records_exactly_equal(const analysis::CommRecord& a,
+                           const analysis::CommRecord& b);
+
+// Compares the plan's expected record stream for `comm`'s group —
+// every group rank — against Comm::ledger_history(). No-op for size-1
+// groups (they have no ledger) and when the analyzer was off.
+void compare_ledger(const Plan& plan, const comm::Comm& comm,
+                    ReplayResult& out);
+
+// Compares predict_traffic for this rank against comm.stats().
+void compare_traffic(const Plan& plan, const comm::Comm& comm,
+                     ReplayResult& out);
+
+}  // namespace mls::verify

@@ -1,0 +1,214 @@
+#include "analysis/static/trace_model.h"
+
+#include "analysis/ledger.h"
+#include "common/check.h"
+
+namespace mls::verify {
+
+void play_backward(Tape& tape) {
+  for (auto it = tape.rbegin(); it != tape.rend(); ++it) (*it)();
+  tape.clear();
+}
+
+StageTrace::StageTrace(const model::ModelConfig& cfg, SymComm tp,
+                       int64_t layer_begin, int64_t layer_end,
+                       bool has_embedding, bool has_head)
+    : cfg_(cfg),
+      tp_(std::move(tp)),
+      layer_begin_(layer_begin),
+      layer_end_(layer_end),
+      has_embedding_(has_embedding),
+      has_head_(has_head) {
+  MLS_CHECK(layer_begin_ >= 0 && layer_begin_ <= layer_end_ &&
+            layer_end_ <= cfg_.L)
+      << "bad stage layer range";
+  sp_ = cfg_.sequence_parallel;
+  n_full_ = cfg_.s * cfg_.b * cfg_.h;
+  n_local_ = sp_ ? n_full_ / cfg_.t : n_full_;
+}
+
+void StageTrace::forward(Tape& tape) const {
+  if (has_embedding_) embed_forward(tape);
+  for (int64_t l = layer_begin_; l < layer_end_; ++l) layer_forward(tape);
+  if (has_head_) head_loss_forward(tape);
+}
+
+// ColumnParallelLinear::forward_nobias. SP: sp_gathered_matmul — g
+// (all-gather) forward, optional re-gather + ḡ-style reduce-scatter of
+// dX backward. Non-SP: f (identity forward, all-reduce backward).
+// `grad_dtype` is the dtype of the incoming grad_out (f16 inside the
+// transformer stack, f32 for the head where it comes from the CE).
+void StageTrace::column_nobias_forward(Tape& tape, Dtype grad_dtype) const {
+  SymComm tp = tp_;
+  const int64_t nl = n_local_, nf = n_full_;
+  if (sp_) {
+    {
+      analysis::SiteGuard sg("sp_gathered_matmul.fwd");
+      tp.all_gather(nl, 0, Dtype::F16);
+    }
+    const bool regather = cfg_.sharded_input_save;
+    tape.push_back([tp, regather, nl, nf, grad_dtype]() mutable {
+      if (regather) {
+        analysis::SiteGuard sg("sp_gathered_matmul.bwd:regather");
+        tp.all_gather(nl, 0, Dtype::F16);
+      }
+      analysis::SiteGuard sg("sp_gathered_matmul.bwd:dx");
+      tp.reduce_scatter(nf, 0, grad_dtype);
+    });
+  } else {
+    tape.push_back([tp, nf, grad_dtype]() mutable {
+      analysis::SiteGuard sg("f(copy_to_tp).bwd");
+      tp.all_reduce(nf, grad_dtype);
+    });
+  }
+}
+
+// RowParallelLinear::forward: partial GEMM then ḡ (reduce-scatter, SP)
+// or f̄ (all-reduce). ḡ's conjugate all-gathers the sharded grad in
+// backward; f̄'s backward is the identity.
+void StageTrace::row_forward(Tape& tape) const {
+  SymComm tp = tp_;
+  const int64_t nl = n_local_, nf = n_full_;
+  if (sp_) {
+    {
+      analysis::SiteGuard sg("ḡ(scatter_to_sp).fwd");
+      tp.reduce_scatter(nf, 0, Dtype::F16);
+    }
+    tape.push_back([tp, nl]() mutable {
+      analysis::SiteGuard sg("ḡ(scatter_to_sp).bwd");
+      tp.all_gather(nl, 0, Dtype::F16);
+    });
+  } else {
+    analysis::SiteGuard sg("f̄(reduce_from_tp).fwd");
+    tp.all_reduce(nf, Dtype::F16);
+  }
+}
+
+void StageTrace::layer_body(Tape& tape) const {
+  column_nobias_forward(tape, Dtype::F16);  // attn.qkv
+  row_forward(tape);                        // attn.proj
+  column_nobias_forward(tape, Dtype::F16);  // mlp.lin1
+  row_forward(tape);                        // mlp.lin2
+}
+
+void StageTrace::layer_forward(Tape& tape) const {
+  if (cfg_.recompute != core::Recompute::kFull) {
+    // kSelective only checkpoints the attention core, which is pure
+    // compute — the comm schedule is identical to kNone.
+    layer_body(tape);
+    return;
+  }
+  // Full recompute: the no-grad first forward still executes its
+  // collectives (checkpoint does not suppress comm), but registers no
+  // backward nodes; backward replays the whole body — re-emitting the
+  // forward collectives — then unwinds the replayed subgraph.
+  {
+    Tape discarded;
+    layer_body(discarded);
+  }
+  const StageTrace self = *this;
+  tape.push_back([self]() {
+    Tape replay;
+    self.layer_body(replay);
+    play_backward(replay);
+  });
+}
+
+// core::vocab_parallel_embedding: masked local lookup, then ḡ
+// (reduce-scatter) under SP or f̄ (all-reduce). Backward all-gathers
+// the sequence-sharded grad under SP; the add_positional / dropout
+// pieces are comm-free.
+void StageTrace::embed_forward(Tape& tape) const {
+  SymComm tp = tp_;
+  const int64_t nl = n_local_, nf = n_full_;
+  {
+    analysis::SiteGuard sg("vocab_embedding.fwd");
+    if (sp_) {
+      tp.reduce_scatter(nf, 0, Dtype::F16);
+    } else {
+      tp.all_reduce(nf, Dtype::F16);
+    }
+  }
+  if (sp_) {
+    tape.push_back([tp, nl]() mutable {
+      analysis::SiteGuard sg("vocab_embedding.bwd");
+      tp.all_gather(nl, 0, Dtype::F16);
+    });
+  }
+}
+
+// GPTModel::head_loss: lnf (no comm), output projection (SP-gathered
+// matmul with f32 dX, or f + matmul), then the vocab-parallel CE's
+// three f32 all-reduces (max / sum-exp / target). CE backward is
+// comm-free.
+void StageTrace::head_loss_forward(Tape& tape) const {
+  SymComm tp = tp_;
+  const int64_t nl = n_local_, nf = n_full_;
+  if (sp_) {
+    {
+      analysis::SiteGuard sg("sp_gathered_matmul.fwd");
+      tp.all_gather(nl, 0, Dtype::F16);
+    }
+    const bool regather = cfg_.sharded_input_save;
+    tape.push_back([tp, regather, nl, nf]() mutable {
+      if (regather) {
+        analysis::SiteGuard sg("sp_gathered_matmul.bwd:regather");
+        tp.all_gather(nl, 0, Dtype::F16);
+      }
+      analysis::SiteGuard sg("sp_gathered_matmul.bwd:dx");
+      tp.reduce_scatter(nf, 0, Dtype::F32);
+    });
+  } else {
+    tape.push_back([tp, nf]() mutable {
+      analysis::SiteGuard sg("f(copy_to_tp).bwd");
+      tp.all_reduce(nf, Dtype::F32);
+    });
+  }
+  const int64_t n_rows = cfg_.s * cfg_.b;
+  analysis::SiteGuard sg("vocab_ce.fwd");
+  tp.all_reduce(n_rows, Dtype::F32, comm::ReduceOp::Max);
+  tp.all_reduce(n_rows, Dtype::F32);
+  tp.all_reduce(n_rows, Dtype::F32);
+}
+
+void StageTrace::sync_replicated_grads() const {
+  if (!sp_ || cfg_.t == 1) return;
+  SymComm tp = tp_;
+  analysis::SiteGuard sg("sync_replicated_grads");
+  if (has_embedding_) tp.all_reduce(cfg_.s * cfg_.h, Dtype::F32);  // wpe
+  if (has_head_) {
+    tp.all_reduce(cfg_.h, Dtype::F32);  // lnf.gamma
+    tp.all_reduce(cfg_.h, Dtype::F32);  // lnf.beta
+  }
+  for (int64_t l = layer_begin_; l < layer_end_; ++l) {
+    // proj.bias, lin2.bias, ln1.gamma/beta, ln2.gamma/beta — all [h].
+    for (int i = 0; i < 6; ++i) tp.all_reduce(cfg_.h, Dtype::F32);
+  }
+}
+
+std::vector<ParamSpec> StageTrace::params() const {
+  const int64_t h = cfg_.h, t = cfg_.t;
+  std::vector<ParamSpec> out;
+  if (has_embedding_ || has_head_) {
+    out.push_back({cfg_.v / t * h, Dtype::F32});  // wte shard
+  }
+  if (has_embedding_) out.push_back({cfg_.s * h, Dtype::F32});  // wpe
+  if (has_head_) {
+    out.push_back({h, Dtype::F32});  // lnf.gamma
+    out.push_back({h, Dtype::F32});  // lnf.beta
+  }
+  for (int64_t l = layer_begin_; l < layer_end_; ++l) {
+    out.push_back({h * (3 * h / t), Dtype::F16});  // qkv.weight
+    out.push_back({3 * h / t, Dtype::F32});        // qkv.bias
+    out.push_back({(h / t) * h, Dtype::F16});      // proj.weight
+    out.push_back({h, Dtype::F32});                // proj.bias
+    out.push_back({h * (4 * h / t), Dtype::F16});  // lin1.weight
+    out.push_back({4 * h / t, Dtype::F32});        // lin1.bias
+    out.push_back({(4 * h / t) * h, Dtype::F16});  // lin2.weight
+    out.push_back({h, Dtype::F32});                // lin2.bias
+    for (int i = 0; i < 4; ++i) out.push_back({h, Dtype::F32});  // ln1/ln2 γβ
+  }
+  return out;
+}
+
+}  // namespace mls::verify

@@ -1,0 +1,92 @@
+// Symbolic tracers for the model layers: ColumnParallel/RowParallel
+// linears, the SP boundary operators, the vocab-parallel embedding and
+// cross-entropy, and checkpoint replays — each emitting into a Plan the
+// exact PlanEvent stream the runtime issues (same sites, counts,
+// dtypes, order), derived purely from a ModelConfig.
+//
+// The forward walk mirrors autograd: forward emissions happen inline,
+// and each op that communicates in backward pushes a closure onto a
+// Tape. play_backward() then invokes the closures in reverse push
+// order — exactly the synchronous reverse-topological order
+// ag::backward uses when the overlap scheduler is off. Full-recompute
+// layers push ONE closure that replays the whole layer body (forward
+// emissions included) before unwinding it, reproducing
+// ag::checkpoint's do_replay semantics; the selective attention-core
+// checkpoint is pure compute and never appears here.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "analysis/static/plan.h"
+#include "model/config.h"
+
+namespace mls::verify {
+
+// Deferred backward emissions, pushed in forward order.
+using Tape = std::vector<std::function<void()>>;
+
+// Invokes the tape in reverse push order, then clears it.
+void play_backward(Tape& tape);
+
+// Symbolic parameter: element count + the dtype its gradient tensor has
+// at runtime (weights get F16 grads from the GEMM dW path; biases,
+// layer-norm params and embedding tables get F32 grads). Drives the
+// dp.grad_all_reduce schedule.
+struct ParamSpec {
+  int64_t count = 0;
+  Dtype grad_dtype = Dtype::F32;
+};
+
+// Symbolic twin of one GPTModel stage (a PipelineEngine chunk): owns
+// layers [layer_begin, layer_end) plus optionally the embedding (first
+// virtual stage) and the head (last). Emits through the tp group's
+// SymComm with the same SiteGuard literals as the runtime.
+class StageTrace {
+ public:
+  StageTrace(const model::ModelConfig& cfg, SymComm tp, int64_t layer_begin,
+             int64_t layer_end, bool has_embedding, bool has_head);
+
+  // One microbatch's forward: embedding (if owned), owned layers, head
+  // + loss (if owned). Backward comm is pushed onto `tape`.
+  void forward(Tape& tape) const;
+
+  // GPTModel::sync_grads_after_backward — the SP replicated-grad
+  // all-reduces. No-op unless sequence_parallel and t > 1, as at
+  // runtime.
+  void sync_replicated_grads() const;
+
+  // This stage's parameters in GPTModel::params() order (word table,
+  // positional table, final layer-norm, then each layer's params).
+  std::vector<ParamSpec> params() const;
+
+  // Element count of the stage-boundary activation ([s(/t), b, h] f16)
+  // — the payload of pp.fwd_send / pp.bwd_send.
+  int64_t boundary_count() const { return n_local_; }
+
+  bool has_embedding() const { return has_embedding_; }
+  bool has_head() const { return has_head_; }
+  int64_t num_layers() const { return layer_end_ - layer_begin_; }
+
+ private:
+  void embed_forward(Tape& tape) const;
+  void layer_forward(Tape& tape) const;
+  void head_loss_forward(Tape& tape) const;
+  // One transformer layer body: qkv column, proj row, lin1 column,
+  // lin2 row (attention core and point-wise ops are comm-free).
+  void layer_body(Tape& tape) const;
+  void column_nobias_forward(Tape& tape, Dtype grad_dtype) const;
+  void row_forward(Tape& tape) const;
+
+  model::ModelConfig cfg_;
+  mutable SymComm tp_;
+  int64_t layer_begin_ = 0;
+  int64_t layer_end_ = 0;
+  bool has_embedding_ = false;
+  bool has_head_ = false;
+  bool sp_ = false;           // sequence parallel
+  int64_t n_full_ = 0;        // s * b * h
+  int64_t n_local_ = 0;       // (s/t) * b * h under SP, else n_full
+};
+
+}  // namespace mls::verify

@@ -1,0 +1,176 @@
+#include "analysis/static/trace_pipeline.h"
+
+#include <map>
+#include <utility>
+
+#include "analysis/ledger.h"
+#include "common/check.h"
+
+namespace mls::verify {
+
+namespace {
+
+// pipeline/executor.cpp split colors (Megatron grid order:
+// world rank = dp * (p*t) + pp * t + tp).
+int tp_color(const model::ModelConfig& cfg, int rank) { return rank / cfg.t; }
+int pp_color(const model::ModelConfig& cfg, int rank) {
+  const int grid = cfg.t * cfg.p;
+  return (1 << 20) | ((rank / grid) * cfg.t + rank % cfg.t);
+}
+int dp_color(const model::ModelConfig& cfg, int rank) {
+  const int grid = cfg.t * cfg.p;
+  return (1 << 21) | (rank % grid);
+}
+
+std::string child_name(int color) { return "world/c" + std::to_string(color); }
+
+int fwd_tag(int last_stage, int boundary, int mb) {
+  return (mb * (last_stage + 2) + boundary) << 1;
+}
+int bwd_tag(int last_stage, int boundary, int mb) {
+  return ((mb * (last_stage + 2) + boundary) << 1) | 1;
+}
+
+}  // namespace
+
+std::string tp_group_name(const model::ModelConfig& cfg, int rank) {
+  return child_name(tp_color(cfg, rank));
+}
+std::string pp_group_name(const model::ModelConfig& cfg, int rank) {
+  return child_name(pp_color(cfg, rank));
+}
+std::string dp_group_name(const model::ModelConfig& cfg, int rank) {
+  return child_name(dp_color(cfg, rank));
+}
+
+Plan trace_train_iteration(const model::ModelConfig& cfg,
+                           const TraceOptions& opts) {
+  cfg.validate();
+  const int world = cfg.t * cfg.p * static_cast<int>(cfg.d);
+  const int m = cfg.interleave_m;
+  const int last_stage = cfg.p * m - 1;
+  const int64_t layers_per_chunk =
+      cfg.L / (static_cast<int64_t>(cfg.p) * m);
+  const int n_micro = static_cast<int>(cfg.microbatches());
+  MLS_CHECK_GE(n_micro, 1) << "global_batch must cover b*d";
+
+  Plan plan(world);
+  std::vector<int> all(static_cast<size_t>(world));
+  for (int r = 0; r < world; ++r) all[static_cast<size_t>(r)] = r;
+  plan.add_group("world", all);
+
+  // Group membership per split color.
+  std::map<int, std::vector<int>> by_color;
+  for (int r = 0; r < world; ++r) {
+    by_color[tp_color(cfg, r)].push_back(r);
+    by_color[pp_color(cfg, r)].push_back(r);
+    by_color[dp_color(cfg, r)].push_back(r);
+  }
+  for (const auto& [color, members] : by_color) {
+    plan.add_group(child_name(color), members);
+  }
+
+  for (int rank = 0; rank < world; ++rank) {
+    SymComm world_comm = plan.comm("world", rank);
+    {
+      analysis::SiteGuard sg("pipeline.grid_split");
+      world_comm.split(tp_color(cfg, rank));
+      world_comm.split(pp_color(cfg, rank));
+      world_comm.split(dp_color(cfg, rank));
+    }
+    SymComm tp = plan.comm(tp_group_name(cfg, rank), rank);
+    SymComm pp = plan.comm(pp_group_name(cfg, rank), rank);
+    SymComm dp = plan.comm(dp_group_name(cfg, rank), rank);
+    const int pp_rank = pp.rank();
+
+    std::vector<StageTrace> chunks;
+    chunks.reserve(static_cast<size_t>(m));
+    for (int c = 0; c < m; ++c) {
+      const int v = c * cfg.p + pp_rank;
+      chunks.emplace_back(cfg, tp, v * layers_per_chunk,
+                          (v + 1) * layers_per_chunk,
+                          /*has_embedding=*/v == 0,
+                          /*has_head=*/v == last_stage);
+    }
+
+    auto rank_of_stage = [&cfg](int v) { return v % cfg.p; };
+
+    // ---- the schedule walk (executor.cpp run_iteration) ----
+    std::map<std::pair<int, int>, Tape> tapes;  // (mb, chunk) -> backward
+    const auto ops = pipeline::build_schedule(opts.schedule, cfg.p, pp_rank,
+                                              n_micro, m);
+    for (const auto& op : ops) {
+      const int v = op.chunk * cfg.p + pp_rank;
+      const StageTrace& stage = chunks[static_cast<size_t>(op.chunk)];
+      Tape& tape = tapes[{op.microbatch, op.chunk}];
+      if (op.type == pipeline::OpType::kForward) {
+        if (v > 0) {
+          analysis::SiteGuard sg("pp.fwd_recv");
+          pp.recv(rank_of_stage(v - 1), fwd_tag(last_stage, v, op.microbatch));
+        }
+        stage.forward(tape);
+        if (v < last_stage) {
+          analysis::SiteGuard sg("pp.fwd_send");
+          pp.send(rank_of_stage(v + 1),
+                  fwd_tag(last_stage, v + 1, op.microbatch),
+                  stage.boundary_count(), Dtype::F16);
+        }
+      } else {
+        if (v < last_stage) {
+          analysis::SiteGuard sg("pp.bwd_recv");
+          pp.recv(rank_of_stage(v + 1),
+                  bwd_tag(last_stage, v + 1, op.microbatch));
+        }
+        play_backward(tape);
+        if (v > 0) {
+          analysis::SiteGuard sg("pp.bwd_send");
+          pp.send(rank_of_stage(v - 1),
+                  bwd_tag(last_stage, v, op.microbatch),
+                  stage.boundary_count(), Dtype::F16);
+        }
+      }
+    }
+
+    // ---- post-iteration syncs, in executor order ----
+    // Tied word embeddings: p2p only when the first and last virtual
+    // stages live on different pipeline ranks (word-table grads are f32).
+    {
+      analysis::SiteGuard sg("pp.tied_embed_sync");
+      const bool has_first =
+          pp_rank == rank_of_stage(0) && chunks.front().has_embedding();
+      const int last_rank = rank_of_stage(last_stage);
+      const bool has_last = pp_rank == last_rank && chunks.back().has_head();
+      constexpr int kTieTag = 1 << 22;
+      const int64_t tbl_count = cfg.v / cfg.t * cfg.h;
+      if (has_first && has_last) {
+        // Same rank: summed in memory, no comm.
+      } else if (has_first) {
+        pp.send(last_rank, kTieTag, tbl_count, Dtype::F32);
+        pp.recv(last_rank, kTieTag + 1);
+      } else if (has_last) {
+        pp.recv(rank_of_stage(0), kTieTag);
+        pp.send(rank_of_stage(0), kTieTag + 1, tbl_count, Dtype::F32);
+      }
+    }
+    for (const auto& c : chunks) c.sync_replicated_grads();
+    if (cfg.d > 1) {
+      analysis::SiteGuard sg("dp.grad_all_reduce");
+      for (const auto& c : chunks) {
+        for (const ParamSpec& p : c.params()) {
+          dp.all_reduce(p.count, p.grad_dtype);
+        }
+      }
+    }
+    {
+      analysis::SiteGuard sg("pp.loss_broadcast");
+      pp.broadcast(1, rank_of_stage(last_stage), Dtype::F32);
+    }
+    if (cfg.d > 1) {
+      analysis::SiteGuard sg("dp.loss_all_reduce");
+      dp.all_reduce(1, Dtype::F32);
+    }
+  }
+  return plan;
+}
+
+}  // namespace mls::verify

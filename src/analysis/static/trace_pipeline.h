@@ -1,0 +1,32 @@
+// Whole-iteration symbolic tracer: derives the complete per-rank
+// collective/p2p schedule of one PipelineEngine::run_iteration — grid
+// splits, per-microbatch stage forwards/backwards in schedule order,
+// stage-boundary sends/recvs, tied-embedding sync, SP replicated-grad
+// sync, data-parallel gradient all-reduces and the loss broadcast —
+// purely from a ModelConfig. Group names, split colors, p2p tags and
+// SiteGuard literals all match pipeline/executor.cpp, so the resulting
+// Plan replays byte-for-byte against the runtime ledger.
+#pragma once
+
+#include "analysis/static/plan.h"
+#include "analysis/static/trace_model.h"
+#include "model/config.h"
+#include "pipeline/schedule.h"
+
+namespace mls::verify {
+
+struct TraceOptions {
+  pipeline::Schedule schedule = pipeline::Schedule::k1F1B;
+};
+
+// The analyzer group names the engine's three splits produce for world
+// rank `rank` (parent "world"; Megatron grid order, tp fastest).
+std::string tp_group_name(const model::ModelConfig& cfg, int rank);
+std::string pp_group_name(const model::ModelConfig& cfg, int rank);
+std::string dp_group_name(const model::ModelConfig& cfg, int rank);
+
+// One full training iteration over a t*p*d world.
+Plan trace_train_iteration(const model::ModelConfig& cfg,
+                           const TraceOptions& opts = {});
+
+}  // namespace mls::verify

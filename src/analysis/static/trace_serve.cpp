@@ -1,0 +1,77 @@
+#include "analysis/static/trace_serve.h"
+
+#include "analysis/ledger.h"
+#include "common/check.h"
+
+namespace mls::verify {
+
+serve::KVLayout kv_layout_of(const model::ModelConfig& cfg,
+                             int64_t block_tokens) {
+  serve::KVLayout layout;
+  layout.layers = cfg.L;
+  layout.heads_local = cfg.a / cfg.t;
+  layout.d = cfg.h / cfg.a;
+  layout.block_tokens = block_tokens;
+  layout.max_ctx = cfg.s;
+  return layout;
+}
+
+int64_t kv_used_bytes(const serve::KVLayout& layout, int64_t tokens) {
+  return tokens * layout.logical_bytes_per_token();
+}
+
+int64_t kv_reserved_bytes_paged(const serve::KVLayout& layout,
+                                int64_t tokens) {
+  return layout.blocks_for(tokens) * layout.block_tokens *
+         layout.logical_bytes_per_token();
+}
+
+int64_t kv_reserved_bytes_naive(const serve::KVLayout& layout,
+                                int64_t total_tokens) {
+  return total_tokens * layout.logical_bytes_per_token();
+}
+
+void trace_decode_step(SymComm& tp, const model::ModelConfig& cfg,
+                       int64_t rows, int64_t sample_count) {
+  MLS_CHECK_GE(rows, 1);
+  MLS_CHECK(sample_count >= 0 && sample_count <= rows);
+  if (tp.size() <= 1) return;  // DecodeEngine::reduce's t==1 guard
+  const int64_t nh = rows * cfg.h;
+  {
+    analysis::SiteGuard sg("serve.embed");
+    tp.all_reduce(nh, Dtype::F16);
+  }
+  for (int64_t l = 0; l < cfg.L; ++l) {
+    {
+      analysis::SiteGuard sg("serve.attn_reduce");
+      tp.all_reduce(nh, Dtype::F16);
+    }
+    {
+      analysis::SiteGuard sg("serve.mlp_reduce");
+      tp.all_reduce(nh, Dtype::F16);
+    }
+  }
+  if (sample_count > 0) {
+    // logits [m, v/t] gathered along dim 1 to [m, v].
+    analysis::SiteGuard sg("serve.gather_logits");
+    tp.all_gather(sample_count * (cfg.v / cfg.t), /*dim=*/1, Dtype::F16);
+  }
+}
+
+Plan trace_decode(const model::ModelConfig& cfg, int steps, int64_t rows,
+                  int64_t sample_count) {
+  cfg.validate();
+  Plan plan(cfg.t);
+  std::vector<int> all(static_cast<size_t>(cfg.t));
+  for (int r = 0; r < cfg.t; ++r) all[static_cast<size_t>(r)] = r;
+  plan.add_group("world", all);
+  for (int rank = 0; rank < cfg.t; ++rank) {
+    SymComm tp = plan.comm("world", rank);
+    for (int s = 0; s < steps; ++s) {
+      trace_decode_step(tp, cfg, rows, sample_count);
+    }
+  }
+  return plan;
+}
+
+}  // namespace mls::verify

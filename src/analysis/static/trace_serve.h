@@ -1,0 +1,41 @@
+// Symbolic tracer for the serve decode path plus the KV-cache byte
+// predictors (the Table-2 accounting extended to inference, DESIGN.md
+// §12). The decode schedule mirrors serve/decode.cpp's non-overlap
+// step exactly — including its asymmetry with training: DecodeEngine's
+// reduce() is guarded by tp.size() > 1, so at t == 1 a decode step
+// emits NOTHING (training collectives record even on size-1 groups).
+#pragma once
+
+#include "analysis/static/plan.h"
+#include "model/config.h"
+#include "serve/kv_cache.h"
+
+namespace mls::verify {
+
+// The KVLayout DecodeEngine derives from a config (block_tokens is the
+// cache's knob; pass the value the cache was built with).
+serve::KVLayout kv_layout_of(const model::ModelConfig& cfg,
+                             int64_t block_tokens);
+
+// Logical f16 KV bytes actually cached after `tokens` positions.
+int64_t kv_used_bytes(const serve::KVLayout& layout, int64_t tokens);
+// Logical bytes a paged cache reserves for one sequence holding
+// `tokens` positions (whole blocks).
+int64_t kv_reserved_bytes_paged(const serve::KVLayout& layout, int64_t tokens);
+// Logical bytes the naive baseline reserves: the worst case up front.
+int64_t kv_reserved_bytes_naive(const serve::KVLayout& layout,
+                                int64_t total_tokens);
+
+// One non-overlap decode step over `rows` sequences of which
+// `sample_count` sample this step: embed all-reduce, per-layer
+// attention + MLP all-reduces, then the logits gather. Emits nothing
+// when tp.size() == 1.
+void trace_decode_step(SymComm& tp, const model::ModelConfig& cfg,
+                       int64_t rows, int64_t sample_count);
+
+// `steps` decode steps on a world of t ranks (group "world" — serve
+// runs the whole model directly on the world communicator).
+Plan trace_decode(const model::ModelConfig& cfg, int steps, int64_t rows,
+                  int64_t sample_count);
+
+}  // namespace mls::verify

@@ -716,6 +716,15 @@ std::string Comm::poison_reason() const {
   return world_ ? world_->poison_state->first_reason() : std::string();
 }
 
+std::string Comm::group_name() const {
+  return world_ ? world_->name : std::string();
+}
+
+std::vector<std::vector<analysis::CommRecord>> Comm::ledger_history() const {
+  if (!world_ || !world_->ledger) return {};
+  return world_->ledger->snapshot();
+}
+
 void Comm::drain() {
   if (!world_) return;
   // Each task's error (if any) was already captured into its own

@@ -21,6 +21,10 @@
 #include "comm/mailbox.h"
 #include "tensor/tensor.h"
 
+namespace mls::analysis {
+struct CommRecord;
+}
+
 namespace mls::comm {
 
 class HandleRegistry;
@@ -131,6 +135,19 @@ class Comm {
 
   TrafficStats& stats() { return *stats_; }
   const TrafficStats& stats() const { return *stats_; }
+
+  // Analyzer group name ("world", "world/c3", ...). Empty for an
+  // invalid handle. The static verifier keys its per-group plans on
+  // these names (analysis/static/replay.h).
+  std::string group_name() const;
+
+  // Snapshot of this communicator's analyzer ledger: the retained
+  // CommRecord history per group rank, oldest first (see
+  // analysis::Ledger::snapshot). Empty when the analyzer is off, the
+  // group has size 1, or history has been trimmed away — raise
+  // Options::flight_depth (ScopedOptions) before the run to retain
+  // everything. Pure read; costs nothing unless called.
+  std::vector<std::vector<analysis::CommRecord>> ledger_history() const;
 
   // Unblocks every rank of this communicator (and sub-communicators)
   // with an error; called when a rank fails. The reason is embedded in

@@ -1,0 +1,457 @@
+// Tests for the static plan verifier (src/analysis/static): seeded
+// mis-plans must each be flagged with BOTH call sites named, the clean
+// config grid must verify with zero violations, and — the acceptance
+// bar — record-replay must show ZERO drift between the symbolic trace
+// and the runtime ledger/TrafficStats/MemoryTracker on real t=2, t=2+SP
+// and p=2 runs: every field of every CommRecord, every byte of every
+// counter, byte-exact Table-2 activation bytes and serve KV bytes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/ledger.h"
+#include "analysis/static/budget.h"
+#include "analysis/static/replay.h"
+#include "analysis/static/trace_pipeline.h"
+#include "analysis/static/trace_serve.h"
+#include "analysis/static/verify.h"
+#include "autograd/engine.h"
+#include "comm/spmd.h"
+#include "common/memtracker.h"
+#include "common/rng.h"
+#include "core/collectives.h"
+#include "memory/activation_model.h"
+#include "model/gpt.h"
+#include "optim/optim.h"
+#include "pipeline/executor.h"
+#include "serve/decode.h"
+#include "serve/kv_cache.h"
+
+namespace mls {
+namespace {
+
+using analysis::Options;
+using analysis::ScopedOptions;
+using analysis::SiteGuard;
+using model::ModelConfig;
+using verify::Plan;
+using verify::ReplayResult;
+using verify::SymComm;
+using verify::Violation;
+
+Options replay_options() {
+  Options o;
+  o.validate = true;
+  o.watchdog = false;
+  o.watchdog_sec = 5.0;
+  o.flight_depth = 1 << 20;  // retain the whole run for replay
+  return o;
+}
+
+std::string joined(const std::vector<Violation>& vs) {
+  std::string out;
+  for (const Violation& v : vs) out += "[" + v.check + "] " + v.message + "\n";
+  return out;
+}
+
+// ------------------------------------------------- seeded mis-plans
+// Five deliberately broken plans; each must be caught with the call
+// sites of BOTH offending ranks named in the diagnostic.
+
+TEST(StaticMisplan, MismatchedOpNamesBothSites) {
+  Plan plan(2);
+  plan.add_group("world", {0, 1});
+  SymComm r0 = plan.comm("world", 0);
+  SymComm r1 = plan.comm("world", 1);
+  {
+    SiteGuard sg("static.rank0_reduce");
+    r0.all_reduce(64);
+  }
+  {
+    SiteGuard sg("static.rank1_gather");
+    r1.all_gather(32, 0);
+  }
+  const auto vs = verify::check_schedule(plan);
+  ASSERT_EQ(vs.size(), 1u) << joined(vs);
+  const std::string& msg = vs[0].message;
+  EXPECT_NE(msg.find("static.rank0_reduce"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("static.rank1_gather"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("all_reduce"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("all_gather"), std::string::npos) << msg;
+}
+
+TEST(StaticMisplan, CountDriftNamesBothSites) {
+  Plan plan(2);
+  plan.add_group("world", {0, 1});
+  SymComm r0 = plan.comm("world", 0);
+  SymComm r1 = plan.comm("world", 1);
+  {
+    SiteGuard sg("static.count_rank0");
+    r0.all_reduce(1024);
+  }
+  {
+    SiteGuard sg("static.count_rank1");
+    r1.all_reduce(1536);  // padded-vocab drift: one rank's shard is larger
+  }
+  const auto vs = verify::check_schedule(plan);
+  ASSERT_EQ(vs.size(), 1u) << joined(vs);
+  const std::string& msg = vs[0].message;
+  EXPECT_NE(msg.find("count=1024"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("count=1536"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("static.count_rank0"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("static.count_rank1"), std::string::npos) << msg;
+}
+
+TEST(StaticMisplan, SequenceParallelOnOneRankOnly) {
+  // The paper's g-vs-f̄ confusion: one rank traced with SP (ḡ emits a
+  // reduce-scatter), the other without (f̄ emits an all-reduce).
+  Plan plan(2);
+  plan.add_group("world", {0, 1});
+  SymComm r0 = plan.comm("world", 0);
+  SymComm r1 = plan.comm("world", 1);
+  const int64_t n_full = 16 * 2 * 32;
+  {
+    SiteGuard sg("ḡ(scatter_to_sp).fwd");
+    r0.reduce_scatter(n_full, 0);
+  }
+  {
+    SiteGuard sg("f̄(reduce_from_tp).fwd");
+    r1.all_reduce(n_full);
+  }
+  const auto vs = verify::verify_plan(plan);
+  ASSERT_GE(vs.size(), 1u);
+  const std::string& msg = vs[0].message;
+  EXPECT_EQ(vs[0].check, "schedule");
+  EXPECT_NE(msg.find("ḡ(scatter_to_sp).fwd"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("f̄(reduce_from_tp).fwd"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("reduce_scatter"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("all_reduce"), std::string::npos) << msg;
+}
+
+TEST(StaticMisplan, P2pCycleIsReportedWithBothSites) {
+  // Both stages recv before they send: a classic pipeline boundary
+  // cycle. Sends buffer, but neither recv can ever be satisfied.
+  Plan plan(2);
+  plan.add_group("pipe", {0, 1});
+  SymComm r0 = plan.comm("pipe", 0);
+  SymComm r1 = plan.comm("pipe", 1);
+  {
+    SiteGuard sg("static.stage0_recv_first");
+    r0.recv(1, 7);
+    r0.send(1, 8, 128);
+  }
+  {
+    SiteGuard sg("static.stage1_recv_first");
+    r1.recv(0, 8);
+    r1.send(0, 7, 128);
+  }
+  const auto vs = verify::check_deadlock(plan);
+  ASSERT_EQ(vs.size(), 1u) << joined(vs);
+  const std::string& msg = vs[0].message;
+  EXPECT_EQ(vs[0].check, "deadlock");
+  EXPECT_NE(msg.find("static.stage0_recv_first"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("static.stage1_recv_first"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("wait-for cycle"), std::string::npos) << msg;
+}
+
+TEST(StaticMisplan, WrongTable2FormulaNamesBothSources) {
+  ModelConfig cfg = ModelConfig::tiny(2, 1);
+  cfg.sequence_parallel = true;
+  cfg.recompute = core::Recompute::kSelective;
+  cfg.validate();
+  // The classic wrong claim: sbh(34 + 5as/h) without dividing by t —
+  // the non-parallel Table 2 row applied to a sharded config.
+  const double wrong = memory::act_bytes_per_layer(
+      ModelConfig::tiny(1, 1), memory::technique_of(ModelConfig::tiny(1, 1)));
+  const auto vs =
+      verify::check_budget_claim(cfg, wrong, "test.wrong_formula_site");
+  ASSERT_EQ(vs.size(), 1u);
+  const std::string& msg = vs[0].message;
+  EXPECT_EQ(vs[0].check, "budget");
+  EXPECT_NE(msg.find("act_bytes_per_layer"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("test.wrong_formula_site"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("drift"), std::string::npos) << msg;
+}
+
+// A correct claim produces no violation (the checker is exact, not
+// tolerance-based).
+TEST(StaticBudget, ExactClaimPasses) {
+  ModelConfig cfg = ModelConfig::tiny(2, 1);
+  cfg.sequence_parallel = true;
+  cfg.recompute = core::Recompute::kSelective;
+  cfg.validate();
+  const double right =
+      memory::act_bytes_per_layer(cfg, memory::technique_of(cfg));
+  EXPECT_TRUE(verify::check_budget_claim(cfg, right, "test.right").empty());
+}
+
+// ------------------------------------------------- clean static grid
+
+TEST(StaticClean, ConfigGridVerifiesWithZeroViolations) {
+  for (int t : {1, 2}) {
+    for (int p : {1, 2}) {
+      for (int sp : {0, 1}) {
+        if (sp && t == 1) continue;
+        for (auto rc : {core::Recompute::kNone, core::Recompute::kSelective,
+                        core::Recompute::kFull}) {
+          ModelConfig cfg = ModelConfig::tiny(t, 4);
+          cfg.p = p;
+          cfg.sequence_parallel = sp != 0;
+          cfg.recompute = rc;
+          cfg.global_batch = 4 * cfg.b;
+          cfg.validate();
+          const Plan plan = verify::trace_train_iteration(cfg);
+          const auto vs = verify::verify_plan(plan);
+          EXPECT_TRUE(vs.empty())
+              << "t=" << t << " p=" << p << " sp=" << sp << "\n" << joined(vs);
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------- traffic prediction
+// predict_traffic must reproduce the runtime ring formulas exactly,
+// including the near-equal chunking of non-divisible element counts.
+
+TEST(StaticTraffic, RingFormulasMatchRuntimeOnNonDivisibleCounts) {
+  const int T = 3;
+  const int64_t n = 10;  // 10 % 3 != 0: exercises chunk_ofs rounding
+  Plan plan(T);
+  plan.add_group("world", {0, 1, 2});
+  for (int r = 0; r < T; ++r) {
+    SymComm c = plan.comm("world", r);
+    c.all_reduce(n);  // F16: the tensor library's activation default
+    c.all_gather(n, 0);
+    c.reduce_scatter(n * T, 0);
+    c.broadcast(n, /*root=*/1);
+  }
+  ASSERT_TRUE(verify::verify_plan(plan).empty());
+
+  ScopedOptions opts(replay_options());
+  std::vector<ReplayResult> results(T);
+  spmd::run(T, [&](comm::Comm& c) {
+    SiteGuard sg("(untagged)");
+    Tensor x = Tensor::full(Shape{{n}}, 1.0f + static_cast<float>(c.rank()));
+    c.all_reduce(x);
+    Tensor g = c.all_gather(x, 0);
+    Tensor rs = c.reduce_scatter(g, 0);
+    Tensor b = Tensor::full(Shape{{n}}, 3.0f);
+    c.broadcast(b, 1);
+    verify::compare_traffic(plan, c, results[static_cast<size_t>(c.rank())]);
+  });
+  for (int r = 0; r < T; ++r) {
+    EXPECT_TRUE(results[static_cast<size_t>(r)].ok())
+        << "rank " << r << "\n"
+        << joined(results[static_cast<size_t>(r)].violations);
+  }
+}
+
+// ---------------------------------------------------- replay: training
+// The zero-drift acceptance gate: a real PipelineEngine iteration's
+// ledger streams and traffic counters must equal the static plan
+// field-for-field on every communicator of every rank.
+
+ModelConfig replay_config(int t, int p, int d, bool sp, int m) {
+  ModelConfig cfg = ModelConfig::tiny(t, 4);
+  cfg.p = p;
+  cfg.d = d;
+  cfg.interleave_m = m;
+  cfg.sequence_parallel = sp;
+  cfg.recompute = core::Recompute::kSelective;
+  cfg.global_batch = static_cast<int64_t>(cfg.b) * d * 4;
+  cfg.validate();
+  return cfg;
+}
+
+// Runs one real iteration and replays every communicator against the
+// static plan. Returns all violations plus the comparison counts so
+// the caller can assert the replay actually covered something.
+ReplayResult replay_train_iteration(const ModelConfig& cfg) {
+  verify::TraceOptions topts;
+  pipeline::PipelineOptions popts;
+  if (cfg.interleave_m > 1) {
+    topts.schedule = pipeline::Schedule::kInterleaved1F1B;
+    popts.schedule = pipeline::Schedule::kInterleaved1F1B;
+  }
+  const Plan plan = verify::trace_train_iteration(cfg, topts);
+  EXPECT_TRUE(verify::verify_plan(plan).empty());
+
+  Rng rng(2026);
+  std::vector<std::vector<int64_t>> tokens, targets;
+  for (int64_t mb = 0; mb < cfg.total_microbatches(); ++mb) {
+    std::vector<int64_t> tok(static_cast<size_t>(cfg.s * cfg.b));
+    std::vector<int64_t> tgt(tok.size());
+    for (auto& x : tok)
+      x = static_cast<int64_t>(rng.next_below(static_cast<uint64_t>(cfg.v)));
+    for (auto& x : tgt)
+      x = static_cast<int64_t>(rng.next_below(static_cast<uint64_t>(cfg.v)));
+    tokens.push_back(std::move(tok));
+    targets.push_back(std::move(tgt));
+  }
+
+  ScopedOptions opts(replay_options());
+  const int world = cfg.t * cfg.p * cfg.d;
+  std::vector<ReplayResult> per_rank(static_cast<size_t>(world));
+  spmd::run(world, [&](comm::Comm& c) {
+    MemoryTracker::instance().reset();
+    pipeline::PipelineEngine engine(cfg, c, popts);
+    optim::Sgd opt(engine.params(), 0.05f);
+    opt.zero_grad();
+    engine.run_iteration(tokens, targets, 0);
+    ReplayResult& res = per_rank[static_cast<size_t>(c.rank())];
+    // Ledger streams: compare once per group (group rank 0 covers all
+    // member ranks); traffic: every rank compares its own counters.
+    if (c.rank() == 0) verify::compare_ledger(plan, c, res);
+    verify::compare_traffic(plan, c, res);
+    comm::Comm* groups[] = {&engine.tp_comm(), &engine.pp_comm(),
+                            &engine.dp_comm()};
+    for (comm::Comm* g : groups) {
+      if (g->valid() && g->rank() == 0) verify::compare_ledger(plan, *g, res);
+      verify::compare_traffic(plan, *g, res);
+    }
+  });
+
+  ReplayResult all;
+  for (const ReplayResult& r : per_rank) {
+    all.records_compared += r.records_compared;
+    all.stats_compared += r.stats_compared;
+    for (const Violation& v : r.violations) all.violations.push_back(v);
+  }
+  return all;
+}
+
+TEST(ReplayTrain, TensorParallelZeroDrift) {
+  const ReplayResult res =
+      replay_train_iteration(replay_config(2, 1, 1, false, 1));
+  EXPECT_TRUE(res.ok()) << joined(res.violations);
+  EXPECT_GT(res.records_compared, 0);
+  EXPECT_GT(res.stats_compared, 0);
+}
+
+TEST(ReplayTrain, SequenceParallelZeroDrift) {
+  const ReplayResult res =
+      replay_train_iteration(replay_config(2, 1, 1, true, 1));
+  EXPECT_TRUE(res.ok()) << joined(res.violations);
+  EXPECT_GT(res.records_compared, 0);
+}
+
+TEST(ReplayTrain, PipelineZeroDrift) {
+  const ReplayResult res =
+      replay_train_iteration(replay_config(2, 2, 1, true, 1));
+  EXPECT_TRUE(res.ok()) << joined(res.violations);
+  EXPECT_GT(res.records_compared, 0);
+}
+
+TEST(ReplayTrain, InterleavedPipelineZeroDrift) {
+  const ReplayResult res =
+      replay_train_iteration(replay_config(1, 2, 1, false, 2));
+  EXPECT_TRUE(res.ok()) << joined(res.violations);
+  EXPECT_GT(res.records_compared, 0);
+}
+
+TEST(ReplayTrain, DataParallelZeroDrift) {
+  const ReplayResult res =
+      replay_train_iteration(replay_config(1, 1, 2, false, 1));
+  EXPECT_TRUE(res.ok()) << joined(res.violations);
+  EXPECT_GT(res.records_compared, 0);
+}
+
+// ----------------------------------------------------- replay: Table 2
+// The measured MemoryTracker bytes of a real layer forward, fed back
+// into the budget checker as a "claim", must be exact — the static
+// budget IS the runtime byte count.
+
+TEST(ReplayBudget, MeasuredLayerBytesMatchStaticBudget) {
+  for (int sp : {0, 1}) {
+    for (auto rc : {core::Recompute::kNone, core::Recompute::kSelective}) {
+      ModelConfig cfg = ModelConfig::tiny(2, 1);
+      cfg.sequence_parallel = sp != 0;
+      cfg.recompute = rc;
+      cfg.validate();
+      int64_t measured = -1;
+      spmd::run(cfg.t, [&](comm::Comm& c) {
+        auto& mt = MemoryTracker::instance();
+        mt.reset();
+        core::ParallelEnv env;
+        env.tp = c;
+        env.sequence_parallel = cfg.sequence_parallel;
+        env.sharded_input_save = cfg.sharded_input_save;
+        env.recompute = cfg.recompute;
+        env.seed = cfg.seed;
+        Rng master(cfg.seed);
+        model::TransformerLayer layer(env, cfg, 0, master);
+        Rng drng(5);
+        const int64_t s_local =
+            cfg.sequence_parallel ? cfg.s / cfg.t : cfg.s;
+        ag::Var x(Tensor::randn(Shape{{s_local, cfg.b, cfg.h}}, drng), true);
+        ag::Var y = layer.forward(x, env);
+        const int64_t bytes = mt.current_major_bytes();
+        ag::backward(y, Tensor::full(y.value().shape(), 1.f));
+        if (c.rank() == 0) measured = bytes;
+      });
+      ASSERT_GE(measured, 0);
+      const auto vs = verify::check_budget_claim(
+          cfg, static_cast<double>(measured), "MemoryTracker replay");
+      EXPECT_TRUE(vs.empty()) << "sp=" << sp << "\n" << joined(vs);
+    }
+  }
+}
+
+// ------------------------------------------------------ replay: serve
+// The decode loop's ledger + traffic must replay against trace_decode,
+// and the paged cache's used bytes must equal the symbolic KV model.
+
+TEST(ReplayServe, DecodeZeroDriftAndExactKvBytes) {
+  ModelConfig cfg = ModelConfig::tiny(2, 2);
+  cfg.validate();
+  const int steps = 3;
+  const int64_t n_rows = 2;
+  const Plan plan = verify::trace_decode(cfg, steps, n_rows, n_rows);
+  ASSERT_TRUE(verify::verify_plan(plan).empty());
+
+  ScopedOptions opts(replay_options());
+  std::vector<ReplayResult> per_rank(static_cast<size_t>(cfg.t));
+  std::vector<int64_t> kv_used(static_cast<size_t>(cfg.t), -1);
+  spmd::run(cfg.t, [&](comm::Comm& c) {
+    MemoryTracker::instance().reset();
+    model::GPTModel m(cfg, c);
+    serve::DecodeEngine eng(m, /*overlap=*/false);
+    auto cache = serve::make_paged_kv_cache(eng.layout(), /*budget=*/cfg.s * 4);
+    std::vector<std::unique_ptr<serve::SequenceKV>> seqs;
+    for (int64_t i = 0; i < n_rows; ++i) seqs.push_back(cache->create(cfg.s));
+    for (int step = 0; step < steps; ++step) {
+      std::vector<serve::DecodeRow> rows;
+      for (int64_t i = 0; i < n_rows; ++i) {
+        serve::DecodeRow r;
+        r.token = (7 * step + 3 * i) % cfg.v;
+        r.position = step;
+        r.kv = seqs[static_cast<size_t>(i)].get();
+        r.sample = true;  // every row samples: sample_count == n_rows
+        ASSERT_TRUE(r.kv->reserve(r.position));
+        rows.push_back(r);
+      }
+      eng.step(rows);
+    }
+    ReplayResult& res = per_rank[static_cast<size_t>(c.rank())];
+    if (c.rank() == 0) verify::compare_ledger(plan, c, res);
+    verify::compare_traffic(plan, c, res);
+    kv_used[static_cast<size_t>(c.rank())] = cache->stats().used_bytes;
+    // steps positions cached per sequence, n_rows sequences: the
+    // runtime counter must equal the symbolic KV model exactly.
+    EXPECT_EQ(cache->stats().used_bytes,
+              n_rows * verify::kv_used_bytes(eng.layout(), steps));
+    seqs.clear();
+  });
+
+  for (int r = 0; r < cfg.t; ++r) {
+    EXPECT_TRUE(per_rank[static_cast<size_t>(r)].ok())
+        << "rank " << r << "\n"
+        << joined(per_rank[static_cast<size_t>(r)].violations);
+    EXPECT_GE(kv_used[static_cast<size_t>(r)], 0);
+  }
+}
+
+}  // namespace
+}  // namespace mls
