@@ -37,6 +37,7 @@ LayerBytes measure_layer_bytes(const model::ModelConfig& cfg) {
     env.tp = c;
     env.sequence_parallel = cfg.sequence_parallel;
     env.recompute = cfg.recompute;
+    env.parallel_plan = &cfg.resolved_plan();
     env.seed = cfg.seed;
     Rng master(cfg.seed);
     model::TransformerLayer layer(env, cfg, 0, master);
@@ -64,6 +65,7 @@ struct TechSetup {
   Technique tech;
   bool sp;
   core::Recompute rc;
+  core::PlanKind plan = core::PlanKind::kAuto;
 };
 
 const TechSetup kSetups[] = {
@@ -72,6 +74,10 @@ const TechSetup kSetups[] = {
     {Technique::kTensorSelective, false, core::Recompute::kSelective},
     {Technique::kTensorSequenceSelective, true, core::Recompute::kSelective},
     {Technique::kFullRecompute, false, core::Recompute::kFull},
+    {Technique::kFoldedTsp, true, core::Recompute::kNone,
+     core::PlanKind::kFoldedTsp},
+    {Technique::kFoldedTspSelective, true, core::Recompute::kSelective,
+     core::PlanKind::kFoldedTsp},
 };
 
 }  // namespace
@@ -94,6 +100,8 @@ int main() {
         {Technique::kTensorSelective, "sbh(10 + 24/t)"},
         {Technique::kTensorSequenceSelective, "sbh(34/t)"},
         {Technique::kFullRecompute, "sbh(2)"},
+        {Technique::kFoldedTsp, "sbh(26/t + 3as/ht)"},
+        {Technique::kFoldedTspSelective, "sbh(26/t)"},
     };
     for (const auto& r : rows) {
       std::vector<std::string> cells = {memory::technique_name(r.tech),
@@ -139,6 +147,7 @@ int main() {
       model::ModelConfig cfg = base;
       cfg.sequence_parallel = setup.sp;
       cfg.recompute = setup.rc;
+      cfg.set_plan(setup.plan);
       const auto expect = static_cast<int64_t>(
           memory::act_bytes_per_layer(cfg, setup.tech));
       const auto got = measure_layer_bytes(cfg);

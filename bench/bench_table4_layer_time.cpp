@@ -40,7 +40,8 @@ const Row kRows[] = {
 };
 
 // Wall-clock of one fwd+bwd of a small real layer under the technique.
-double numeric_layer_seconds(bool sp, core::Recompute rc) {
+double numeric_layer_seconds(bool sp, core::Recompute rc,
+                             core::PlanKind plan = core::PlanKind::kAuto) {
   model::ModelConfig cfg = model::ModelConfig::tiny(2, 1);
   cfg.a = 8;
   cfg.h = 128;
@@ -48,17 +49,19 @@ double numeric_layer_seconds(bool sp, core::Recompute rc) {
   cfg.b = 2;
   cfg.sequence_parallel = sp;
   cfg.recompute = rc;
+  cfg.set_plan(plan);
   double seconds = 0;
   spmd::run(cfg.t, [&](comm::Comm& c) {
     core::ParallelEnv env;
     env.tp = c;
-    env.sequence_parallel = sp;
+    env.sequence_parallel = cfg.sequence_parallel;
     env.recompute = rc;
+    env.parallel_plan = &cfg.resolved_plan();
     env.seed = cfg.seed;
     Rng master(cfg.seed);
     model::TransformerLayer layer(env, cfg, 0, master);
     Rng drng(5);
-    const int64_t s_local = sp ? cfg.s / cfg.t : cfg.s;
+    const int64_t s_local = cfg.sequence_parallel ? cfg.s / cfg.t : cfg.s;
     Tensor x0 = Tensor::randn(Shape{{s_local, cfg.b, cfg.h}}, drng);
     Tensor dy = Tensor::full(Shape{{s_local, cfg.b, cfg.h}}, 1.f);
     // Warmup.
@@ -122,5 +125,21 @@ int main() {
   std::printf(
       "(CPU absolute times are meaningless; the ordering full >> selective "
       "> none is the point.)\n");
+
+  // Plan comparison: folded TSP recomputes only the GeLU output and the
+  // softmax/dropout products pointwise inside backward — its overhead
+  // over plain TP+SP must be small (nothing like full recompute's).
+  std::printf("\n--- Parallel-plan comparison (t=2, tiny layer) ---\n");
+  const double n_tp = numeric_layer_seconds(false, core::Recompute::kNone);
+  const double n_sp = numeric_layer_seconds(true, core::Recompute::kNone);
+  const double n_folded = numeric_layer_seconds(
+      true, core::Recompute::kNone, core::PlanKind::kFoldedTsp);
+  Table t3({"plan", "fwd+bwd wall-clock", "vs tp"});
+  t3.add_row({"tp", format_time_ms(n_tp), "-"});
+  t3.add_row({"tp_sp", format_time_ms(n_sp),
+              fmt(100.0 * (n_sp / n_tp - 1), 0) + "%"});
+  t3.add_row({"folded_tsp", format_time_ms(n_folded),
+              fmt(100.0 * (n_folded / n_tp - 1), 0) + "%"});
+  t3.print();
   return 0;
 }

@@ -30,7 +30,15 @@ struct Candidate {
   double act_bytes, total_bytes, mfu, seconds;
 };
 
-const char* rc_label(bool sp, core::Recompute rc) {
+std::string rc_label(const model::ModelConfig& cfg) {
+  const bool sp = cfg.sequence_parallel;
+  const core::Recompute rc = cfg.recompute;
+  std::string base;
+  if (cfg.parallel_plan == core::PlanKind::kFoldedTsp) {
+    base = "folded TSP";
+    if (rc == core::Recompute::kSelective) base += "+selective";
+    return base;
+  }
   if (sp && rc == core::Recompute::kSelective) return "SP+selective";
   if (sp && rc == core::Recompute::kNone) return "SP only";
   if (!sp && rc == core::Recompute::kNone) return "none";
@@ -61,19 +69,24 @@ void search(model::ModelConfig base) {
       struct Tech {
         bool sp;
         core::Recompute rc;
+        core::PlanKind plan = core::PlanKind::kAuto;
       };
       for (const Tech& tech :
            {Tech{false, core::Recompute::kNone},
             Tech{true, core::Recompute::kNone},
             Tech{false, core::Recompute::kSelective},
             Tech{true, core::Recompute::kSelective},
-            Tech{false, core::Recompute::kFull}}) {
+            Tech{false, core::Recompute::kFull},
+            Tech{true, core::Recompute::kNone, core::PlanKind::kFoldedTsp},
+            Tech{true, core::Recompute::kSelective,
+                 core::PlanKind::kFoldedTsp}}) {
         model::ModelConfig cfg = base;
         cfg.t = t;
         cfg.p = static_cast<int>(p);
         cfg.interleave_m = m;
         cfg.sequence_parallel = tech.sp;
         cfg.recompute = tech.rc;
+        cfg.set_plan(tech.plan);
         ++explored;
         const double act = memory::total_activation_bytes_first_stage(
             cfg, memory::technique_of(cfg));
@@ -95,7 +108,7 @@ void search(model::ModelConfig base) {
   for (size_t i = 0; i < std::min<size_t>(8, feasible.size()); ++i) {
     const auto& c = feasible[i];
     tab.add_row({std::to_string(c.cfg.t), std::to_string(c.cfg.p),
-                 std::to_string(c.cfg.interleave_m), rc_label(c.sp, c.rc),
+                 std::to_string(c.cfg.interleave_m), rc_label(c.cfg),
                  format_bytes(c.total_bytes), fmt(c.seconds, 2) + " s",
                  fmt(100 * c.mfu, 1) + "%"});
   }
@@ -103,7 +116,7 @@ void search(model::ModelConfig base) {
   if (!feasible.empty()) {
     const auto& c = feasible.front();
     std::printf("\n-> best: t=%d p=%d m=%d %s — %s/GPU, %.1f%% MFU\n",
-                c.cfg.t, c.cfg.p, c.cfg.interleave_m, rc_label(c.sp, c.rc),
+                c.cfg.t, c.cfg.p, c.cfg.interleave_m, rc_label(c.cfg).c_str(),
                 format_bytes(c.total_bytes).c_str(), 100 * c.mfu);
   }
 }

@@ -48,6 +48,7 @@ std::string config_label(const ModelConfig& cfg) {
   std::ostringstream os;
   os << "t=" << cfg.t << " p=" << cfg.p << " d=" << cfg.d << " m="
      << cfg.interleave_m << " sp=" << (cfg.sequence_parallel ? 1 : 0)
+     << " plan=" << mls::core::plan_kind_name(cfg.parallel_plan)
      << " rc=" << recompute_name(cfg.recompute);
   return os.str();
 }
@@ -107,7 +108,8 @@ void write_json(const std::string& path,
         << ", \"d\": " << r.cfg.d << ", \"m\": " << r.cfg.interleave_m
         << ", \"sequence_parallel\": "
         << (r.cfg.sequence_parallel ? "true" : "false")
-        << ", \"recompute\": \"" << recompute_name(r.cfg.recompute)
+        << ", \"plan\": \"" << mls::core::plan_kind_name(r.cfg.parallel_plan)
+        << "\", \"recompute\": \"" << recompute_name(r.cfg.recompute)
         << "\"},\n"
         << "      \"world_size\": " << r.cfg.t * r.cfg.p * r.cfg.d << ",\n"
         << "      \"groups\": " << r.groups << ",\n"
@@ -174,27 +176,35 @@ std::vector<ModelConfig> sweep_grid() {
           if (m > 1 && p == 1) continue;  // interleaving needs a pipeline
           for (int sp : {0, 1}) {
             if (sp && t == 1) continue;  // SP is a tp-group technique
-            for (auto rc : {mls::core::Recompute::kNone,
-                            mls::core::Recompute::kSelective,
-                            mls::core::Recompute::kFull}) {
-              ModelConfig cfg = ModelConfig::tiny(t, /*layers=*/4);
-              cfg.p = p;
-              cfg.d = d;
-              cfg.interleave_m = m;
-              cfg.sequence_parallel = sp != 0;
-              cfg.recompute = rc;
-              // 4 microbatches per replica: divisible by p for the
-              // interleaved schedule, small enough to stay fast.
-              cfg.global_batch = static_cast<int64_t>(cfg.b) * d * 4;
-              if (cfg.a % t != 0 || cfg.v % t != 0) continue;
-              if (cfg.L % p != 0 ||
-                  cfg.L % (static_cast<int64_t>(p) * m) != 0) {
-                continue;
+            // Plan axis: kAuto covers TP and TP+SP; the folded plan
+            // rides the SP arm (it is sequence-sharded by definition).
+            std::vector<mls::core::PlanKind> plans = {
+                mls::core::PlanKind::kAuto};
+            if (sp) plans.push_back(mls::core::PlanKind::kFoldedTsp);
+            for (auto plan : plans) {
+              for (auto rc : {mls::core::Recompute::kNone,
+                              mls::core::Recompute::kSelective,
+                              mls::core::Recompute::kFull}) {
+                ModelConfig cfg = ModelConfig::tiny(t, /*layers=*/4);
+                cfg.p = p;
+                cfg.d = d;
+                cfg.interleave_m = m;
+                cfg.sequence_parallel = sp != 0;
+                cfg.set_plan(plan);
+                cfg.recompute = rc;
+                // 4 microbatches per replica: divisible by p for the
+                // interleaved schedule, small enough to stay fast.
+                cfg.global_batch = static_cast<int64_t>(cfg.b) * d * 4;
+                if (cfg.a % t != 0 || cfg.v % t != 0) continue;
+                if (cfg.L % p != 0 ||
+                    cfg.L % (static_cast<int64_t>(p) * m) != 0) {
+                  continue;
+                }
+                if (sp && cfg.s % t != 0) continue;
+                if (t * p * d > 16) continue;
+                cfg.validate();
+                out.push_back(cfg);
               }
-              if (sp && cfg.s % t != 0) continue;
-              if (t * p * d > 16) continue;
-              cfg.validate();
-              out.push_back(cfg);
             }
           }
         }

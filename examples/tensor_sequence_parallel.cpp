@@ -6,8 +6,10 @@
 //   2. per-rank activation memory drops per Table 2,
 //   3. TP and TP+SP move exactly the same communication bytes (§4.2.2).
 #include <cstdio>
+#include <string>
 
 #include "comm/spmd.h"
+#include "core/parallel_plan.h"
 #include "common/memtracker.h"
 #include "common/table.h"
 #include "common/units.h"
@@ -77,10 +79,22 @@ int main() {
   present.recompute = core::Recompute::kSelective;
   RunStats present_run = run(present, steps_data);
 
-  Table t({"step", "serial loss", "TP (t=4) loss", "TP+SP+selective loss"});
+  // Fourth column: an alternative parallel plan on the same model.
+  // MLS_PLAN selects it (default folded_tsp — arXiv 2604.26294's fused
+  // nodes on the TP+SP wiring; losses must still coincide exactly).
+  model::ModelConfig alt = present;
+  alt.set_plan(core::plan_kind_from_string(
+      core::Env::str("MLS_PLAN", "folded_tsp")));
+  RunStats alt_run = run(alt, steps_data);
+  const std::string alt_name =
+      std::string(alt.resolved_plan().name()) + "+selective";
+
+  Table t({"step", "serial loss", "TP (t=4) loss", "TP+SP+selective loss",
+           alt_name + " loss"});
   for (size_t i = 0; i < serial.losses.size(); i += 4) {
     t.add_row({std::to_string(i), fmt(serial.losses[i], 5),
-               fmt(tp_run.losses[i], 5), fmt(present_run.losses[i], 5)});
+               fmt(tp_run.losses[i], 5), fmt(present_run.losses[i], 5),
+               fmt(alt_run.losses[i], 5)});
   }
   t.print();
 
@@ -96,6 +110,9 @@ int main() {
   m.add_row({"TP + sequence parallel + selective (present work)",
              format_bytes(static_cast<double>(present_run.peak_act_bytes)),
              ratio(present_run.peak_act_bytes)});
+  m.add_row({alt_name,
+             format_bytes(static_cast<double>(alt_run.peak_act_bytes)),
+             ratio(alt_run.peak_act_bytes)});
   m.print();
 
   std::printf("\nCollective traffic per rank over the run (§4.2.2 identity):\n");

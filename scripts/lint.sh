@@ -33,6 +33,7 @@ RULES=(
   "raw-storage|tensor-scale float buffers allocated outside the pool: new float[] anywhere, or std::vector<float> in src/ outside src/tensor + src/memory — bulk float storage must come from Storage so the arena's stats see every buffer"
   "serve-raw-buffer|per-request buffer in src/serve off the pool arena (malloc, new[], byte/float vectors): serving state scales with concurrent sequences; KV blocks and decode scratch must be Tensors so bench_serve's numbers see every byte"
   "hot-permute|generic ops::/ag::permute on the model hot path (src/core, src/model, src/pipeline, src/train, src/runtime): it is an element-at-a-time gather; use the specialized blocked copies (ops::sbh_to_bhsd etc.)"
+  "layers-direct-comm|direct collective wiring in src/core/layers.*: layers must route every TP/SP communication decision through the ParallelPlan strategy (env.plan()) — including core/collectives.h or calling Comm collectives / conjugate-pair helpers there re-hardwires the schedule the plan owns"
 )
 
 rule_names() {
@@ -189,11 +190,35 @@ match_hot_permute() {
     awk -F: '{printf "%s:%s: generic permute on a hot path\n", $1, $2}'
 }
 
+match_layers_direct_comm() {
+  # The include is checked before string literals are blanked (it IS a
+  # string); everything else is matched with comments/strings stripped.
+  xargs -r awk '
+    {
+      line = $0
+      sub(/\/\/.*/, "", line)
+      if (line ~ /#include[ \t]*"core\/collectives\.h"/) {
+        printf "%s:%d: layers must not include core/collectives.h (use env.plan())\n", \
+               FILENAME, FNR
+        next
+      }
+      gsub(/"([^"\\]|\\.)*"/, "\"\"", line)
+      hit = 0
+      if (line ~ /\.(i?all_reduce|i?all_gather|i?reduce_scatter|broadcast|barrier|i?send|i?recv)[ \t]*\(/) hit = 1
+      if (line ~ /(^|[^A-Za-z0-9_])(copy_to_tensor_parallel|reduce_from_tensor_parallel|gather_from_sequence_parallel|scatter_to_sequence_parallel|sp_gathered_matmul)[ \t]*\(/) hit = 1
+      if (hit)
+        printf "%s:%d: direct collective call in layers; route it through the ParallelPlan\n", \
+               FILENAME, FNR
+    }
+  '
+}
+
 # Per-rule file filter: which of the scanned files a rule looks at.
 files_for_rule() {
   case "$1" in
     serve-raw-buffer) grep -E '(^|/)src/serve/' || true ;;
     hot-permute) grep -E '(^|/)src/(core|model|pipeline|train|runtime)/' || true ;;
+    layers-direct-comm) grep -E '(^|/)src/core/layers' || true ;;
     *) cat ;;
   esac
 }

@@ -1,0 +1,15 @@
+// Lint fixture (never compiled): MUST fire layers-direct-comm three
+// times — the include, a raw Comm collective, and a conjugate-pair
+// helper all bypass the ParallelPlan.
+#include "core/collectives.h"
+
+namespace mls::core {
+
+ag::Var ColumnParallelLinear_forward(const ag::Var& x, const ParallelEnv& env) {
+  ag::Var gathered = copy_to_tensor_parallel(x, env.tp);
+  Tensor partial = gathered.value();
+  env.tp.all_reduce(partial.data(), partial.numel());
+  return gathered;
+}
+
+}  // namespace mls::core

@@ -1,0 +1,17 @@
+// Lint fixture (never compiled): layers that consult the ParallelPlan
+// stay clean; a deliberate exception is suppressible per line.
+#include "core/parallel_plan.h"
+
+namespace mls::core {
+
+ag::Var ColumnParallelLinear_forward(const ag::Var& x, const ParallelEnv& env) {
+  // The plan owns which collective fires here (f vs g), so swapping
+  // MLS_PLAN never needs a layer edit.
+  return env.plan().column_matmul(x, weight, false, env, "fixture_in");
+}
+
+ag::Var debug_probe(const ag::Var& x, const ParallelEnv& env) {
+  return copy_to_tensor_parallel(x, env.tp);  // lint:allow(layers-direct-comm)
+}
+
+}  // namespace mls::core

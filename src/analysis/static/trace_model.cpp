@@ -2,6 +2,7 @@
 
 #include "analysis/ledger.h"
 #include "common/check.h"
+#include "core/parallel_plan.h"
 
 namespace mls::verify {
 
@@ -22,7 +23,10 @@ StageTrace::StageTrace(const model::ModelConfig& cfg, SymComm tp,
   MLS_CHECK(layer_begin_ >= 0 && layer_begin_ <= layer_end_ &&
             layer_end_ <= cfg_.L)
       << "bad stage layer range";
-  sp_ = cfg_.sequence_parallel;
+  // Folded TSP shares the SP comm schedule exactly (the folding only
+  // changes which activations are *stored*), so the trace needs only
+  // the plan's outer-region sharding.
+  sp_ = cfg_.resolved_plan().sequence_sharded();
   n_full_ = cfg_.s * cfg_.b * cfg_.h;
   n_local_ = sp_ ? n_full_ / cfg_.t : n_full_;
 }

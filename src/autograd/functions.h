@@ -52,6 +52,25 @@ Var scaled_softmax(const Var& x, float alpha, bool causal = false,
 Var dropout(const Var& x, float p, uint64_t seed, const ops::IndexMap& map,
             const std::string& tag = "dropout_mask");
 
+// Fused bias + GeLU + matmul: bias_gelu(x, bias) @ w. Saves only the
+// pre-bias x; backward recomputes the GeLU output pointwise before the
+// dW GEMM, so the activation it would have stored is folded away
+// (the folded-TSP plan's MLP stage). Numerics are bitwise identical to
+// the unfused bias_gelu + matmul chain — same kernels, same order.
+Var bias_gelu_matmul(const Var& x, const Var& bias, const Var& w,
+                     const std::string& tag = "gelu_in");
+
+// Fused scaled-softmax + dropout + bmm (the folded-TSP attention core
+// tail): dropout(scaled_softmax(scores, alpha, causal)) @ v. Saves the
+// scores, the 1-byte mask and v; the softmax output and its dropped
+// copy are recomputed pointwise in backward (the mask re-applies
+// deterministically), eliminating the stored probabilities. Bitwise
+// identical to the unfused scaled_softmax → dropout → bmm chain.
+Var scaled_softmax_dropout_bmm(const Var& scores, const Var& v, float alpha,
+                               bool causal, float p, uint64_t seed,
+                               const ops::IndexMap& map,
+                               const std::string& tag = "attn_scores");
+
 Var layernorm(const Var& x, const Var& gamma, const Var& beta,
               float eps = 1e-5f, const std::string& tag = "layernorm_in");
 

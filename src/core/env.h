@@ -36,6 +36,22 @@ enum class Recompute {
 
 const char* recompute_name(Recompute r);
 
+class ParallelPlan;
+
+// Which parallel plan wires the layers (see core/parallel_plan.h).
+enum class PlanKind {
+  kAuto,            // follow the sequence_parallel switch (TP or TP+SP)
+  kTensorParallel,  // f/f̄ only, replicated outer region (Fig 4)
+  kTensorSequence,  // f/f̄ + g/ḡ, sequence-sharded outer region (Fig 5)
+  kFoldedTsp,       // TP+SP with pointwise-recomputable activations
+                    // folded into their consumer GEMMs (arXiv 2604.26294)
+};
+
+const char* plan_kind_name(PlanKind k);
+// Parses the MLS_PLAN spellings "auto" / "tp" / "tp_sp" / "folded_tsp"
+// (also accepts the plan_kind_name strings). Throws on anything else.
+PlanKind plan_kind_from_string(const std::string& s);
+
 struct ParallelEnv {
   // Tensor-parallel group. Size 1 == serial execution (the reference
   // used by the equivalence tests).
@@ -52,6 +68,12 @@ struct ParallelEnv {
   bool sharded_input_save = true;
 
   Recompute recompute = Recompute::kNone;
+
+  // The layer-wiring strategy: which collectives fire where and what is
+  // saved (core/parallel_plan.h). Null resolves from sequence_parallel
+  // (TP or TP+SP), so hand-built envs keep the legacy behavior.
+  const ParallelPlan* parallel_plan = nullptr;
+  const ParallelPlan& plan() const;  // defined in parallel_plan.cpp
 
   // Overlapped activation recomputation (Chen et al. 2024; PAPERS.md):
   // run backward collectives nonblocking on the rank's comm stream and

@@ -2,8 +2,8 @@
 
 #include <cmath>
 
-#include "analysis/ledger.h"
 #include "autograd/checkpoint.h"
+#include "core/parallel_plan.h"
 
 namespace mls::core {
 
@@ -57,14 +57,8 @@ Var ColumnParallelLinear::forward(const Var& x, const ParallelEnv& env) const {
 
 Var ColumnParallelLinear::forward_nobias(const Var& x,
                                          const ParallelEnv& env) const {
-  if (env.sequence_parallel) {
-    // g fused with the GEMM; §4.2.2's sharded-save optimization.
-    return sp_gathered_matmul(x, weight, env.tp, /*trans_b=*/false,
-                              env.sharded_input_save, tag_ + "_in");
-  }
-  // f then GEMM; the replicated input is the saved activation.
-  Var xf = copy_to_tensor_parallel(x, env.tp);
-  return ag::matmul(xf, weight, /*trans_b=*/false, tag_ + "_in");
+  return env.plan().column_matmul(x, weight, /*trans_b=*/false, env,
+                                  tag_ + "_in");
 }
 
 // ----------------------------------------------------- RowParallelLinear
@@ -83,9 +77,12 @@ RowParallelLinear::RowParallelLinear(const ParallelEnv& env, int64_t in,
 
 Var RowParallelLinear::forward(const Var& x, const ParallelEnv& env) const {
   Var y_partial = ag::matmul(x, weight, /*trans_b=*/false, tag_ + "_in");
-  Var y = env.sequence_parallel
-              ? scatter_to_sequence_parallel(y_partial, env.tp)   // ḡ
-              : reduce_from_tensor_parallel(y_partial, env.tp);  // f̄
+  return finish(y_partial, env);
+}
+
+Var RowParallelLinear::finish(const Var& y_partial,
+                              const ParallelEnv& env) const {
+  Var y = env.plan().row_exit(y_partial, env);  // f̄ or ḡ
   return ag::add_bias(y, bias);
 }
 
@@ -121,28 +118,21 @@ Var ParallelSelfAttention::forward(const Var& x, const ParallelEnv& env) const {
   // The attention core (Fig 3's red dashed region): QKᵀ, softmax,
   // softmax-dropout, attention over V. Under selective recomputation
   // this whole region is checkpointed with Q/K/V as the stored inputs;
-  // everything inside (the 5as²b/t bytes) is recomputed in backward.
-  // The 1/sqrt(d) score scaling is fused into the softmax sweep.
-  const float alpha = 1.0f / std::sqrt(static_cast<float>(d));
-  const uint64_t seed = env.dropout_seed(site_base_ + 0);
-  const int64_t bh = q.value().dim(0);
-  const int64_t s_full = q.value().dim(1);
-  const int64_t b = bh / heads_local;
-  const float p = env.effective_dropout(dropout_p_);
-  const bool causal = causal_;
-  const int64_t a_total = a_;
-  auto attn_core = [seed, heads_local, r, a_total, b, s_full, p, causal,
-                    alpha](const std::vector<Var>& ins) {
-    Var scores = ag::bmm(ins[0], ins[1], /*trans_b=*/true, "attn_qk");
-    Var probs = ag::scaled_softmax(scores, alpha, causal, "attn_softmax_out");
-    // Mask coordinates live in the global [b, a, s, s] tensor so all
-    // shardings (and the serial reference) draw identical masks.
-    ops::IndexMap map;
-    map.dims = {b, heads_local, s_full, s_full};
-    map.strides = {a_total * s_full * s_full, s_full * s_full, s_full, 1};
-    map.base = static_cast<int64_t>(r) * heads_local * s_full * s_full;
-    Var probs_d = ag::dropout(probs, p, seed, map, "attn_softmax_mask");
-    return ag::bmm(probs_d, ins[2], /*trans_b=*/false, "attn_av");
+  // everything inside is recomputed in backward. Which ops fuse (and
+  // therefore what is saved) is the plan's attention_core decision.
+  AttnCoreDims dims;
+  dims.heads_local = heads_local;
+  dims.heads_total = a_;
+  dims.rank = r;
+  dims.batch = q.value().dim(0) / heads_local;
+  dims.s_full = q.value().dim(1);
+  dims.alpha = 1.0f / std::sqrt(static_cast<float>(d));
+  dims.causal = causal_;
+  dims.dropout_p = env.effective_dropout(dropout_p_);
+  dims.seed = env.dropout_seed(site_base_ + 0);
+  const ParallelPlan* plan = &env.plan();  // static lifetime (singleton)
+  auto attn_core = [plan, dims](const std::vector<Var>& ins) {
+    return plan->attention_core(ins[0], ins[1], ins[2], dims);
   };
 
   // The attention core issues no collectives, so its replay is
@@ -168,26 +158,16 @@ ParallelMLP::ParallelMLP(const ParallelEnv& env, int64_t h, Rng& master,
       lin2(env, 4 * h, h, master, 0.02f, name + ".lin2") {}
 
 Var ParallelMLP::forward(const Var& x, const ParallelEnv& env) const {
-  // Fused bias+GeLU epilogue on lin1's GEMM output (one sweep instead
-  // of add_bias + gelu; same saved bytes — see functions.h).
-  Var z = ag::bias_gelu(lin1.forward_nobias(x, env), lin1.bias, "mlp_gelu_in");
-  return lin2.forward(z, env);
+  // bias+GeLU and the second GEMM route through the plan (folded TSP
+  // fuses them into one node and stores only the pre-bias input).
+  Var z1 = lin1.forward_nobias(x, env);
+  Var y_partial = env.plan().mlp_act_fc2(z1, lin1.bias, lin2.weight,
+                                         "mlp_gelu_in", lin2.input_tag());
+  return lin2.finish(y_partial, env);
 }
 
 std::vector<Var> ParallelMLP::params() const {
   return {lin1.weight, lin1.bias, lin2.weight, lin2.bias};
-}
-
-// --------------------------------------------------- sync_replicated_grads
-
-void sync_replicated_grads(const std::vector<Var>& params, comm::Comm tp) {
-  if (!tp.valid() || tp.size() == 1) return;
-  analysis::SiteGuard sg("sync_replicated_grads");
-  for (const Var& p : params) {
-    if (!p.has_grad()) continue;
-    Tensor g = p.impl()->grad;
-    tp.all_reduce(g);
-  }
 }
 
 }  // namespace mls::core

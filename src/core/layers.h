@@ -14,14 +14,13 @@
 #include <vector>
 
 #include "autograd/functions.h"
-#include "core/collectives.h"
 #include "core/env.h"
 
 namespace mls::core {
 
-// Y = X·A with A split along columns: A = [A_1, ..., A_t]. Input is
-// replicated (tensor parallelism, entered via f) or sequence-sharded
-// (tensor+sequence parallelism, entered via the fused g+matmul).
+// Y = X·A with A split along columns: A = [A_1, ..., A_t]. How the
+// input enters the tensor-parallel region (f, or the fused g+matmul) is
+// the plan's decision: the layer calls env.plan().column_matmul.
 class ColumnParallelLinear {
  public:
   // `blocks`: the output dimension is treated as `blocks` equal blocks,
@@ -50,15 +49,21 @@ class ColumnParallelLinear {
   std::string tag_;
 };
 
-// Y = X·B with B split along rows; partial products are summed by f̄
-// (all-reduce, output replicated) or ḡ (reduce-scatter, output
-// sequence-sharded).
+// Y = X·B with B split along rows; how the partial products are summed
+// (f̄: all-reduce, replicated out; ḡ: reduce-scatter, sequence-sharded
+// out) is the plan's row_exit decision.
 class RowParallelLinear {
  public:
   RowParallelLinear(const ParallelEnv& env, int64_t in, int64_t out,
                     Rng& master, float stddev, std::string name);
 
   ag::Var forward(const ag::Var& x, const ParallelEnv& env) const;
+  // The exit half on a caller-computed partial product (row_exit + bias
+  // epilogue) for callers that fuse the GEMM into the preceding op
+  // (ParallelMLP routing through the plan's mlp_act_fc2).
+  ag::Var finish(const ag::Var& y_partial, const ParallelEnv& env) const;
+  // The ledger/saved-tensor tag of this layer's GEMM input.
+  std::string input_tag() const { return tag_ + "_in"; }
 
   std::vector<ag::Var> params() const { return {weight, bias}; }
   // Under SP the bias is added to the sequence-sharded output, so its
@@ -115,11 +120,5 @@ class ParallelMLP {
   ColumnParallelLinear lin1;  // h -> 4h
   RowParallelLinear lin2;     // 4h -> h
 };
-
-// After backward, sums the gradients of params that are replicated
-// across the TP group but received only sequence-shard contributions
-// (layer-norm weights, row-linear biases, positional embeddings). Only
-// needed when sequence parallelism is enabled; a no-op for tp size 1.
-void sync_replicated_grads(const std::vector<ag::Var>& params, comm::Comm tp);
 
 }  // namespace mls::core

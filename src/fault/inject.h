@@ -25,8 +25,10 @@
 //  * stall      — sleeps `sec` before entering the op; one-shot. With
 //                 the comm watchdog armed, the peers' stuck rendezvous
 //                 trips it and the group poisons with a flight dump.
-//  * corrupt    — after a checkpoint generation commits, flips bytes in
-//                 the matching rank's shard file; one-shot.
+//  * corrupt    — flips bytes in the matching rank's shard file during
+//                 the generation commit (shard durable, manifest not
+//                 yet published — so the barriers order the damage
+//                 before any rank moves on); one-shot.
 #pragma once
 
 #include <atomic>
@@ -97,8 +99,9 @@ inline void on_comm(const char* what) {
 inline void on_io(int world_rank, const char* what) {
   if (armed()) detail::on_io_slow(world_rank, what);
 }
-// A checkpoint generation just committed; corrupt events damage the
-// shard at `path`.
+// A rank's shard for generation `gen` is durable on disk (called
+// inside the commit, before the manifest barrier); corrupt events
+// damage the shard at `path`.
 inline void on_shard_committed(int world_rank, int64_t gen, const char* path) {
   if (armed()) detail::on_shard_committed_slow(world_rank, gen, path);
 }

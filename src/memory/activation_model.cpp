@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "core/parallel_plan.h"
 
 namespace mls::memory {
 
@@ -15,6 +16,9 @@ const char* technique_name(Technique t) {
     case Technique::kTensorSequenceSelective:
       return "tensor + sequence parallel + selective recompute";
     case Technique::kFullRecompute: return "full activation recomputation";
+    case Technique::kFoldedTsp: return "folded tensor + sequence parallel";
+    case Technique::kFoldedTspSelective:
+      return "folded tensor + sequence parallel + selective recompute";
   }
   return "?";
 }
@@ -23,6 +27,9 @@ Technique technique_of(const model::ModelConfig& cfg) {
   using core::Recompute;
   if (cfg.recompute == Recompute::kFull) return Technique::kFullRecompute;
   const bool sel = cfg.recompute == Recompute::kSelective;
+  if (cfg.resolved_plan().kind() == core::PlanKind::kFoldedTsp) {
+    return sel ? Technique::kFoldedTspSelective : Technique::kFoldedTsp;
+  }
   if (cfg.t == 1 && !cfg.sequence_parallel && !sel) return Technique::kNoParallel;
   if (cfg.sequence_parallel) {
     return sel ? Technique::kTensorSequenceSelective : Technique::kTensorSequence;
@@ -33,20 +40,27 @@ Technique technique_of(const model::ModelConfig& cfg) {
 double act_bytes_per_layer(const model::ModelConfig& cfg, Technique tech) {
   const double sbh = static_cast<double>(cfg.s) * cfg.b * cfg.h;
   const double attn = 5.0 * cfg.a * cfg.s * cfg.s * cfg.b;  // the 5as²b term
-  const double t = cfg.t;
+  const core::LayerDims dims{cfg.s, cfg.b, cfg.h, cfg.a, cfg.t};
+  using core::Recompute;
   switch (tech) {
     case Technique::kNoParallel:
       return 34.0 * sbh + attn;  // Eq 1
     case Technique::kTensorParallel:
-      return (10.0 + 24.0 / t) * sbh + attn / t;  // Eq 2
+      return core::tp_plan().act_bytes_per_layer(dims, Recompute::kNone);
     case Technique::kTensorSequence:
-      return (34.0 * sbh + attn) / t;  // Eq 4
+      return core::sp_plan().act_bytes_per_layer(dims, Recompute::kNone);
     case Technique::kTensorSelective:
-      return (10.0 + 24.0 / t) * sbh;  // Table 2 row 4
+      return core::tp_plan().act_bytes_per_layer(dims, Recompute::kSelective);
     case Technique::kTensorSequenceSelective:
-      return 34.0 * sbh / t;  // Eq 6 per layer
+      return core::sp_plan().act_bytes_per_layer(dims, Recompute::kSelective);
     case Technique::kFullRecompute:
-      return 2.0 * sbh;  // layer input only
+      return 2.0 * sbh;  // layer input only (Table 2 last row, replicated)
+    case Technique::kFoldedTsp:
+      return core::folded_tsp_plan().act_bytes_per_layer(dims,
+                                                         Recompute::kNone);
+    case Technique::kFoldedTspSelective:
+      return core::folded_tsp_plan().act_bytes_per_layer(
+          dims, Recompute::kSelective);
   }
   return 0;
 }
@@ -56,7 +70,9 @@ double extras_bytes(const model::ModelConfig& cfg, Technique tech) {
   const double sbv = static_cast<double>(cfg.s) * cfg.b * cfg.v;
   // Shard factor for the sequence-parallel outer region.
   const bool sp = tech == Technique::kTensorSequence ||
-                  tech == Technique::kTensorSequenceSelective;
+                  tech == Technique::kTensorSequenceSelective ||
+                  tech == Technique::kFoldedTsp ||
+                  tech == Technique::kFoldedTspSelective;
   const double t_outer = sp ? cfg.t : 1.0;
   // Embedding dropout mask: 1 byte/elem, one per in-flight microbatch;
   // the first stage keeps p of them (§4.3's "factor p").
@@ -96,7 +112,9 @@ std::vector<PipelineRankMemory> per_pipeline_rank_memory(
   const double layers_per_stage = static_cast<double>(cfg.L) / cfg.p;
   const double sbh = static_cast<double>(cfg.s) * cfg.b * cfg.h;
   const bool sp = tech == Technique::kTensorSequence ||
-                  tech == Technique::kTensorSequenceSelective;
+                  tech == Technique::kTensorSequenceSelective ||
+                  tech == Technique::kFoldedTsp ||
+                  tech == Technique::kFoldedTspSelective;
   const double t_outer = sp ? cfg.t : 1.0;
 
   std::vector<PipelineRankMemory> out;

@@ -17,7 +17,8 @@
 
 namespace mls::memory {
 
-// The six rows of Table 2.
+// The six rows of Table 2, plus the folded-TSP plan's two rows
+// (arXiv 2604.26294; see core/parallel_plan.h).
 enum class Technique {
   kNoParallel,                // Eq 1:  sbh (34 + 5as/h)
   kTensorParallel,            // Eq 2:  sbh (10 + 24/t + 5as/ht)   [baseline]
@@ -25,6 +26,8 @@ enum class Technique {
   kTensorSelective,           // row 4: sbh (10 + 24/t)
   kTensorSequenceSelective,   // row 5: sbh (34/t)                 [present work]
   kFullRecompute,             // row 6: sbh (2)
+  kFoldedTsp,                 // sbh/t (26 + 3as/h)
+  kFoldedTspSelective,        // sbh (26/t)
 };
 
 const char* technique_name(Technique t);
@@ -32,7 +35,9 @@ const char* technique_name(Technique t);
 // The Technique implied by a ModelConfig's switches.
 Technique technique_of(const model::ModelConfig& cfg);
 
-// Activation bytes stored per transformer layer (Table 2).
+// Activation bytes stored per transformer layer (Table 2). Plan-backed
+// techniques delegate to the plan's own act_bytes_per_layer formula;
+// kNoParallel and kFullRecompute keep the paper's closed forms.
 double act_bytes_per_layer(const model::ModelConfig& cfg, Technique tech);
 
 // §4.3 extras outside the transformer layers, for the first pipeline

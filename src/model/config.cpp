@@ -1,6 +1,7 @@
 #include "model/config.h"
 
 #include "common/check.h"
+#include "core/parallel_plan.h"
 
 namespace mls::model {
 
@@ -82,6 +83,18 @@ ModelConfig ModelConfig::tiny(int t, int64_t layers) {
   return c;
 }
 
+void ModelConfig::set_plan(core::PlanKind kind) {
+  parallel_plan = kind;
+  if (kind != core::PlanKind::kAuto) {
+    sequence_parallel =
+        core::plan_for(kind, sequence_parallel).sequence_sharded();
+  }
+}
+
+const core::ParallelPlan& ModelConfig::resolved_plan() const {
+  return core::plan_for(parallel_plan, sequence_parallel);
+}
+
 void ModelConfig::validate() const {
   MLS_CHECK_EQ(h % a, 0) << "hidden must divide heads";
   MLS_CHECK_EQ(a % t, 0) << "heads must divide tp size";
@@ -91,6 +104,13 @@ void ModelConfig::validate() const {
       << "global batch must divide microbatch size x data-parallel size";
   if (sequence_parallel) {
     MLS_CHECK_EQ(s % t, 0) << "sequence parallelism needs s divisible by t";
+  }
+  if (parallel_plan != core::PlanKind::kAuto) {
+    MLS_CHECK_EQ(core::plan_for(parallel_plan, sequence_parallel)
+                     .sequence_sharded(),
+                 sequence_parallel)
+        << "plan '" << core::plan_kind_name(parallel_plan)
+        << "' disagrees with sequence_parallel; use set_plan()";
   }
   if (interleave_m > 1) {
     MLS_CHECK_EQ(L % (static_cast<int64_t>(p) * interleave_m), 0)

@@ -6,6 +6,10 @@
 
 #include "core/env.h"
 
+namespace mls::core {
+class ParallelPlan;
+}
+
 namespace mls::model {
 
 struct ModelConfig {
@@ -29,6 +33,10 @@ struct ModelConfig {
   bool sequence_parallel = false;
   bool sharded_input_save = true;
   core::Recompute recompute = core::Recompute::kNone;
+  // The layer-wiring strategy (core/parallel_plan.h). kAuto follows the
+  // sequence_parallel switch; explicit kinds must agree with it (the
+  // folded-TSP plan is sequence-sharded). Prefer set_plan().
+  core::PlanKind parallel_plan = core::PlanKind::kAuto;
   uint64_t seed = 0x5eed;
 
   std::string name = "custom";
@@ -56,6 +64,12 @@ struct ModelConfig {
   static ModelConfig gpt_1t();
   // A laptop-scale config for numeric runs and examples.
   static ModelConfig tiny(int t = 1, int64_t layers = 2);
+
+  // Sets parallel_plan and keeps sequence_parallel consistent with the
+  // plan's outer-region sharding.
+  void set_plan(core::PlanKind kind);
+  // The plan singleton this config resolves to.
+  const core::ParallelPlan& resolved_plan() const;
 
   void validate() const;
 };

@@ -84,7 +84,13 @@ std::vector<int64_t> generate(GPTModel& model,
     std::vector<int64_t> window(static_cast<size_t>(cfg.s), 0);
     std::copy(out.begin(), out.end(), window.begin());
     Tensor logits = model.next_token_logits(window, position);
-    out.push_back(sample_token(logits, opts.temperature, opts.seed, step));
+    const int64_t tok =
+        sample_token(logits, opts.temperature, opts.seed, step);
+    out.push_back(tok);
+    if (std::find(opts.stop_tokens.begin(), opts.stop_tokens.end(), tok) !=
+        opts.stop_tokens.end()) {
+      break;  // stop token included in the output
+    }
   }
   model.set_inference(false);
   return out;

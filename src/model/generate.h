@@ -38,6 +38,10 @@ struct GenerateOptions {
   // 0 = greedy argmax; otherwise softmax(logits / temperature) sampling.
   float temperature = 0.0f;
   uint64_t seed = 1;
+  // Early termination: generation stops right after sampling any of
+  // these tokens (the stop token IS included in the returned sequence,
+  // mirroring serve's FinishReason::kCompleted retirement).
+  std::vector<int64_t> stop_tokens;
 };
 
 // Draws the next token from a full-vocabulary logits row: argmax at

@@ -1,6 +1,8 @@
 #include "model/gpt.h"
 
 #include "analysis/ledger.h"
+#include "core/collectives.h"
+#include "core/parallel_plan.h"
 
 namespace mls::model {
 
@@ -24,6 +26,7 @@ GPTModel::GPTModel(const ModelConfig& cfg, comm::Comm tp, StageSpec spec)
   env_.sequence_parallel = cfg_.sequence_parallel;
   env_.sharded_input_save = cfg_.sharded_input_save;
   env_.recompute = cfg_.recompute;
+  env_.parallel_plan = &cfg_.resolved_plan();
   env_.seed = cfg_.seed;
 
   Rng master(cfg_.seed);
@@ -58,17 +61,17 @@ Var GPTModel::embed(const std::vector<int64_t>& tokens) const {
   MLS_CHECK(spec_.has_embedding) << "this stage has no embedding";
   const int t = env_.tp_size();
   const int r = env_.tp_rank();
+  const bool seq_sharded = env_.plan().sequence_sharded();
   Var x = core::vocab_parallel_embedding(word_table_, tokens, cfg_.s, cfg_.b,
-                                         vocab_offset_, env_.tp,
-                                         env_.sequence_parallel);
-  Var pos = env_.sequence_parallel
+                                         vocab_offset_, env_.tp, seq_sharded);
+  Var pos = seq_sharded
                 ? ag::slice(pos_table_, 0, r * (cfg_.s / t), cfg_.s / t)
                 : pos_table_;
   x = core::add_positional(x, pos);
 
   const Shape global{{cfg_.s, cfg_.b, cfg_.h}};
   const ops::IndexMap map =
-      env_.sequence_parallel
+      seq_sharded
           ? ops::IndexMap::shard(global, 0, r * (cfg_.s / t), cfg_.s / t)
           : ops::IndexMap::identity(global);
   // §4.3: "The dropout in the embeddings layer is also parallelized
@@ -94,16 +97,11 @@ Var GPTModel::layer_forward(int64_t global_layer, const Var& x) const {
 Var GPTModel::head_loss(const Var& x, const std::vector<int64_t>& targets) const {
   MLS_CHECK(spec_.has_head) << "this stage has no head";
   Var xl = ag::layernorm(x, lnf_gamma_, lnf_beta_, cfg_.ln_eps, "lnf_in");
-  Var logits;
-  if (env_.sequence_parallel) {
-    // §4.3: the output projection stores its sequence-sharded input
-    // (2sbh/t) and re-gathers in backward.
-    logits = core::sp_gathered_matmul(xl, word_table_, env_.tp, /*trans_b=*/true,
-                                      env_.sharded_input_save, "output_in");
-  } else {
-    Var xf = core::copy_to_tensor_parallel(xl, env_.tp);
-    logits = ag::matmul(xf, word_table_, /*trans_b=*/true, "output_in");
-  }
+  // §4.3: under sequence-sharded plans the output projection stores its
+  // sequence-sharded input (2sbh/t) and re-gathers in backward.
+  Var logits =
+      env_.plan().column_matmul(xl, word_table_, /*trans_b=*/true, env_,
+                                "output_in");
   const int64_t vl = cfg_.v / env_.tp_size();
   Var flat = ag::reshape(logits, Shape{{cfg_.s * cfg_.b, vl}});
   return core::vocab_parallel_cross_entropy(flat, targets, vocab_offset_, env_.tp);
@@ -116,14 +114,10 @@ Tensor GPTModel::next_token_logits(const std::vector<int64_t>& tokens,
   ag::NoGradGuard no_grad;
   Var h = transformer_forward(embed(tokens));
   Var xl = ag::layernorm(h, lnf_gamma_, lnf_beta_, cfg_.ln_eps, "lnf_in");
-  Var logits;
-  if (env_.sequence_parallel) {
-    // The gather inside sp_gathered_matmul restores the full sequence.
-    logits = core::sp_gathered_matmul(xl, word_table_, env_.tp,
-                                      /*trans_b=*/true, true, "output_in");
-  } else {
-    logits = ag::matmul(xl, word_table_, /*trans_b=*/true, "output_in");
-  }
+  // Sequence-sharded plans re-gather the full sequence inside the fused
+  // column matmul; under no-grad the TP entry (f) is an identity.
+  Var logits = env_.plan().column_matmul(xl, word_table_, /*trans_b=*/true,
+                                         env_, "output_in");
   // [s, b, v/t] -> this position, batch lane 0 -> gather full vocab.
   Tensor row = ops::slice(ops::slice(logits.value(), 0, position, 1), 1, 0, 1);
   const int64_t vl = cfg_.v / env_.tp_size();
@@ -160,7 +154,7 @@ void GPTModel::zero_grads() {
 }
 
 void GPTModel::sync_grads_after_backward() {
-  if (!env_.sequence_parallel || env_.tp_size() == 1) return;
+  if (!env_.plan().sequence_sharded() || env_.tp_size() == 1) return;
   std::vector<Var> reps;
   if (pos_table_.defined()) reps.push_back(pos_table_);
   if (lnf_gamma_.defined()) {
@@ -170,7 +164,7 @@ void GPTModel::sync_grads_after_backward() {
   for (const auto& layer : layers_) {
     for (auto& p : layer.replicated_params()) reps.push_back(p);
   }
-  core::sync_replicated_grads(reps, env_.tp);
+  env_.plan().sync_replicated_grads(reps, env_.tp);
 }
 
 }  // namespace mls::model

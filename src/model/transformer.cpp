@@ -1,6 +1,7 @@
 #include "model/transformer.h"
 
 #include "autograd/checkpoint.h"
+#include "core/parallel_plan.h"
 
 namespace mls::model {
 
@@ -41,7 +42,7 @@ Var TransformerLayer::body(const Var& x, const ParallelEnv& env) const {
   const int64_t b = x.value().dim(1);
   const Shape global{{s_, b, h_}};
   const ops::IndexMap map =
-      env.sequence_parallel
+      env.plan().sequence_sharded()
           ? ops::IndexMap::shard(global, 0, r * (s_ / t), s_ / t)
           : ops::IndexMap::identity(global);
 

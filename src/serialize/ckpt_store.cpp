@@ -64,6 +64,11 @@ int64_t CheckpointStore::commit(comm::Comm& world, const NamedTensors& items) {
 
   fault::on_io(rank, "ckpt.save");
   save_tensors(shard_path(gen, rank), items);
+  // Injected shard damage must land while the commit barriers still
+  // order it: fired after this barrier instead, a rank could unwind out
+  // of the barrier on a peer's poison (e.g. a crash scheduled for the
+  // very next step) without ever applying the corruption.
+  fault::on_shard_committed(rank, gen, shard_path(gen, rank).c_str());
   fault::on_io(rank, "ckpt.commit");
 
   // All shards durable before the manifest can name them…
@@ -85,7 +90,6 @@ int64_t CheckpointStore::commit(comm::Comm& world, const NamedTensors& items) {
     // proceeds into work the checkpoint is supposed to cover.
     world.barrier();
   }
-  fault::on_shard_committed(rank, gen, shard_path(gen, rank).c_str());
   return gen;
 }
 

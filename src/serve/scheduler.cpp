@@ -180,10 +180,13 @@ std::vector<Completion> ContinuousBatchScheduler::step() {
   for (size_t i = 0; i < running_.size(); ++i) {
     Sequence& s = running_[i];
     ++s.cached;
+    bool hit_stop = false;
     if (sampled[i] >= 0) {
       s.tokens.push_back(sampled[i]);
       ++s.generated;
       ++stats_.tokens_generated;
+      hit_stop = std::find(s.req.stop_tokens.begin(), s.req.stop_tokens.end(),
+                           sampled[i]) != s.req.stop_tokens.end();
       if (!s.first_token_done) {
         s.first_token_done = true;
         s.first_token_s = t - s.submit_time;
@@ -192,7 +195,7 @@ std::vector<Completion> ContinuousBatchScheduler::step() {
       }
       s.last_token_time = t;
     }
-    if (s.generated >= s.req.max_new_tokens) {
+    if (hit_stop || s.generated >= s.req.max_new_tokens) {
       done.push_back(retire(std::move(s), FinishReason::kCompleted));
     } else if (s.cached >= engine_.layout().max_ctx) {
       // The next feed position would fall outside the trained window —

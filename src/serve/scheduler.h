@@ -45,10 +45,16 @@ struct Request {
   int64_t max_new_tokens = 16;
   float temperature = 0.0f;  // 0 = greedy (see model::sample_token)
   uint64_t seed = 1;
+  // EOS-style early retirement: sampling any of these retires the
+  // sequence as kCompleted with the stop token included in the output
+  // (matching model::generate with the same stop set). Its KV blocks
+  // return to the paged pool the same step, so early finishers free
+  // their unused tail for queued requests immediately.
+  std::vector<int64_t> stop_tokens;
 };
 
 enum class FinishReason {
-  kCompleted,        // produced max_new_tokens
+  kCompleted,        // produced max_new_tokens or sampled a stop token
   kContextOverflow,  // hit the trained sequence length; retired cleanly
                      // (the batch-of-one path throws
                      // model::ContextOverflowError instead)

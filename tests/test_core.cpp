@@ -7,6 +7,7 @@
 
 #include "autograd/engine.h"
 #include "comm/spmd.h"
+#include "core/collectives.h"
 #include "common/memtracker.h"
 #include "model/gpt.h"
 #include "optim/optim.h"

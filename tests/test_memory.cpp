@@ -31,6 +31,7 @@ int64_t measure_layer_bytes(const ModelConfig& cfg) {
     env.sharded_input_save = cfg.sharded_input_save;
     env.recompute = cfg.recompute;
     env.seed = cfg.seed;
+    env.parallel_plan = &cfg.resolved_plan();
 
     Rng master(cfg.seed);
     model::TransformerLayer layer(env, cfg, 0, master);
@@ -104,6 +105,24 @@ TEST_P(Table2Validation, TensorSequenceSelective) {
   cfg.recompute = core::Recompute::kSelective;
   const double expect =
       memory::act_bytes_per_layer(cfg, Technique::kTensorSequenceSelective);
+  EXPECT_EQ(measure_layer_bytes(cfg), static_cast<int64_t>(expect));
+}
+
+TEST_P(Table2Validation, FoldedTsp) {
+  ModelConfig cfg = base_config();
+  if (cfg.s % cfg.t != 0) GTEST_SKIP();
+  cfg.set_plan(core::PlanKind::kFoldedTsp);
+  const double expect = memory::act_bytes_per_layer(cfg, Technique::kFoldedTsp);
+  EXPECT_EQ(measure_layer_bytes(cfg), static_cast<int64_t>(expect));
+}
+
+TEST_P(Table2Validation, FoldedTspSelective) {
+  ModelConfig cfg = base_config();
+  if (cfg.s % cfg.t != 0) GTEST_SKIP();
+  cfg.set_plan(core::PlanKind::kFoldedTsp);
+  cfg.recompute = core::Recompute::kSelective;
+  const double expect =
+      memory::act_bytes_per_layer(cfg, Technique::kFoldedTspSelective);
   EXPECT_EQ(measure_layer_bytes(cfg), static_cast<int64_t>(expect));
 }
 

@@ -6,6 +6,7 @@
 // KV-bytes MemoryTracker axis.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 
 #include "comm/spmd.h"
@@ -386,6 +387,123 @@ TEST(Serve, KvAxisAndAllocatorStatsAreWired) {
     EXPECT_GT(st.physical_bytes, 0);
     EXPECT_GE(st.physical_peak, st.physical_bytes);
     EXPECT_FALSE(st.json().empty());
+  });
+}
+
+TEST(Serve, StopTokenRetiresEarlyAndReclaimsBlocks) {
+  // A request with a stop token that fires mid-decode must retire as
+  // kCompleted with the stop token included (matching generate()'s
+  // early break), and its paged blocks — reserved for the full
+  // max_new_tokens worst case — must return to the pool that same step.
+  ModelConfig cfg = ModelConfig::tiny(1, 2);
+  cfg.b = 1;
+  spmd::run(1, [&](comm::Comm& c) {
+    model::GPTModel m(cfg, c);
+    const std::vector<int64_t> prompt = {3};
+    const int64_t budget = 10;
+
+    // Learn what greedy decode emits, then stop on its 3rd new token.
+    model::GenerateOptions probe;
+    probe.max_new_tokens = budget;
+    const std::vector<int64_t> free_run = model::generate(m, prompt, probe);
+    ASSERT_EQ(free_run.size(), prompt.size() + budget);
+    const int64_t stop = free_run[prompt.size() + 2];
+
+    model::GenerateOptions o = probe;
+    o.stop_tokens = {stop};
+    const std::vector<int64_t> ref = model::generate(m, prompt, o);
+    ASSERT_LE(ref.size(), prompt.size() + 3);
+    ASSERT_EQ(ref.back(), stop);
+
+    Request r;
+    r.id = 7;
+    r.prompt = prompt;
+    r.max_new_tokens = budget;
+    r.stop_tokens = {stop};
+
+    ServeConfig scfg;
+    scfg.block_tokens = 2;
+    scfg.kv_budget_tokens = 64;
+    ContinuousBatchScheduler sched(m, scfg);
+    const int64_t blocks_total = sched.kv_stats().blocks_total;
+    // The hook runs after this step's KV reservations and before
+    // retirement, so it observes the blocks the sequence is holding.
+    int64_t min_free = blocks_total;
+    sched.set_step_hook([&](int64_t) {
+      min_free = std::min(min_free, sched.kv_stats().blocks_free);
+    });
+    sched.submit(r);
+    std::vector<serve::Completion> done;
+    while (!sched.idle()) {
+      for (auto& comp : sched.step()) done.push_back(std::move(comp));
+    }
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].reason, FinishReason::kCompleted);
+    EXPECT_EQ(done[0].tokens, ref);
+    EXPECT_LT(done[0].generated(), budget) << "must stop before the budget";
+    // Blocks were in use mid-decode and all came back at retirement —
+    // the early finisher's unused tail is available to the queue again.
+    EXPECT_LT(min_free, blocks_total);
+    EXPECT_EQ(sched.kv_stats().blocks_free, blocks_total);
+    EXPECT_EQ(sched.kv_stats().sequences_freed, 1);
+  });
+}
+
+TEST(Serve, StopTokenParityWithGenerateAcrossBatch) {
+  // Every request carries a stop set; the batched continuous scheduler
+  // must emit exactly the tokens model::generate() produces for the
+  // same (prompt, options, stop set) — whether or not the stop fires.
+  ModelConfig cfg = ModelConfig::tiny(1, 2);
+  cfg.b = 1;
+  spmd::run(1, [&](comm::Comm& c) {
+    model::GPTModel m(cfg, c);
+    auto reqs = mixed_requests(cfg);
+    // Sampling is a pure function of (seed, step), so a probe run tells
+    // us exactly what each request will emit. Even ids stop on their
+    // 2nd generated token (guaranteed early); odd ids get a stop token
+    // chosen off the probe's trajectory (guaranteed full budget).
+    for (size_t i = 0; i < reqs.size(); ++i) {
+      model::GenerateOptions probe;
+      probe.max_new_tokens = reqs[i].max_new_tokens;
+      probe.temperature = reqs[i].temperature;
+      probe.seed = reqs[i].seed;
+      const auto run = model::generate(m, reqs[i].prompt, probe);
+      if (i % 2 == 0) {
+        reqs[i].stop_tokens = {run[reqs[i].prompt.size() + 1]};
+      } else {
+        int64_t avoid = 0;
+        while (std::find(run.begin() + static_cast<int64_t>(
+                                           reqs[i].prompt.size()),
+                         run.end(), avoid) != run.end()) {
+          ++avoid;
+        }
+        reqs[i].stop_tokens = {avoid};
+      }
+    }
+    std::map<int64_t, std::vector<int64_t>> ref;
+    for (const auto& r : reqs) {
+      model::GenerateOptions o;
+      o.max_new_tokens = r.max_new_tokens;
+      o.temperature = r.temperature;
+      o.seed = r.seed;
+      o.stop_tokens = r.stop_tokens;
+      ref[r.id] = model::generate(m, r.prompt, o);
+    }
+
+    ServeConfig scfg;
+    scfg.block_tokens = 4;
+    scfg.kv_budget_tokens = 256;
+    scfg.max_batch = 4;
+    const auto got = serve_all(m, scfg, reqs);
+    ASSERT_EQ(got.tokens.size(), reqs.size());
+    bool any_early = false;
+    for (const auto& r : reqs) {
+      EXPECT_EQ(got.tokens.at(r.id), ref.at(r.id)) << "request " << r.id;
+      EXPECT_EQ(got.reasons.at(r.id), FinishReason::kCompleted);
+      any_early |= static_cast<int64_t>(got.tokens.at(r.id).size() -
+                                        r.prompt.size()) < r.max_new_tokens;
+    }
+    EXPECT_TRUE(any_early) << "stop sets should fire for at least one request";
   });
 }
 

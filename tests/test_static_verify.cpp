@@ -129,6 +129,36 @@ TEST(StaticMisplan, SequenceParallelOnOneRankOnly) {
   EXPECT_NE(msg.find("all_reduce"), std::string::npos) << msg;
 }
 
+TEST(StaticMisplan, FoldedTspPlanOnOneRankOnly) {
+  // Plan-axis mis-configuration: rank 0 runs the folded-TSP plan
+  // (sequence-sharded, ḡ emits a reduce-scatter at the row exit) while
+  // rank 1 was left on the plain TP plan (f̄ emits an all-reduce) — the
+  // failure mode of setting MLS_PLAN on only part of the launch. The
+  // verifier must name both plan-qualified sites.
+  Plan plan(2);
+  plan.add_group("world", {0, 1});
+  SymComm r0 = plan.comm("world", 0);
+  SymComm r1 = plan.comm("world", 1);
+  const int64_t n_full = 16 * 2 * 32;
+  {
+    SiteGuard sg("folded_tsp.ḡ(scatter_to_sp).fwd");
+    r0.reduce_scatter(n_full, 0);
+  }
+  {
+    SiteGuard sg("tp.f̄(reduce_from_tp).fwd");
+    r1.all_reduce(n_full);
+  }
+  const auto vs = verify::verify_plan(plan);
+  ASSERT_GE(vs.size(), 1u);
+  const std::string& msg = vs[0].message;
+  EXPECT_EQ(vs[0].check, "schedule");
+  EXPECT_NE(msg.find("folded_tsp.ḡ(scatter_to_sp).fwd"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("tp.f̄(reduce_from_tp).fwd"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("reduce_scatter"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("all_reduce"), std::string::npos) << msg;
+}
+
 TEST(StaticMisplan, P2pCycleIsReportedWithBothSites) {
   // Both stages recv before they send: a classic pipeline boundary
   // cycle. Sends buffer, but neither recv can ever be satisfied.
@@ -354,6 +384,27 @@ TEST(ReplayTrain, InterleavedPipelineZeroDrift) {
 TEST(ReplayTrain, DataParallelZeroDrift) {
   const ReplayResult res =
       replay_train_iteration(replay_config(1, 1, 2, false, 1));
+  EXPECT_TRUE(res.ok()) << joined(res.violations);
+  EXPECT_GT(res.records_compared, 0);
+}
+
+TEST(ReplayTrain, FoldedTspZeroDrift) {
+  // The folded plan shares the TP+SP comm schedule exactly, so the
+  // symbolic trace must replay drift-free against a real folded run.
+  ModelConfig cfg = replay_config(2, 1, 1, true, 1);
+  cfg.set_plan(core::PlanKind::kFoldedTsp);
+  cfg.validate();
+  const ReplayResult res = replay_train_iteration(cfg);
+  EXPECT_TRUE(res.ok()) << joined(res.violations);
+  EXPECT_GT(res.records_compared, 0);
+  EXPECT_GT(res.stats_compared, 0);
+}
+
+TEST(ReplayTrain, FoldedTspPipelineZeroDrift) {
+  ModelConfig cfg = replay_config(2, 2, 1, true, 1);
+  cfg.set_plan(core::PlanKind::kFoldedTsp);
+  cfg.validate();
+  const ReplayResult res = replay_train_iteration(cfg);
   EXPECT_TRUE(res.ok()) << joined(res.violations);
   EXPECT_GT(res.records_compared, 0);
 }
