@@ -22,7 +22,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -88,10 +90,14 @@ double min_time(F&& fn, int reps) {
 }
 
 // ----------------------------------------------------------- --smoke
-// Correctness-only checks cheap enough for CI: the blocked kernel vs
-// the scalar reference, thread-count bit identity, and the fused
-// epilogues vs their composed forms. No timing thresholds (CI machines
-// are noisy); the perf numbers come from --json runs.
+// Correctness checks cheap enough for CI — the blocked kernel vs the
+// scalar reference, thread-count bit identity, the fused epilogues vs
+// their composed forms — plus one coarse perf gate: on hosts with >= 4
+// cores, 4-thread GEMM must beat single-thread by >= 1.5x (half of
+// ideal, loose enough for noisy CI; it exists to catch the pool
+// regressing to negative scaling, which is what this PR fixed). The
+// gate skips gracefully on smaller runners; fine-grained numbers come
+// from --json runs.
 int run_smoke() {
   int failures = 0;
   auto check = [&](bool ok, const char* what) {
@@ -161,6 +167,35 @@ int run_smoke() {
           "sbh<->bhsd round trip bit-exact");
   }
 
+  {  // thread-scaling gate (>= 4 cores only)
+    const unsigned cores = std::thread::hardware_concurrency();
+    if (cores >= 4) {
+      const int64_t n = 512;
+      const std::vector<float> a = random_vec(n * n, 8);
+      const std::vector<float> b = random_vec(n * n, 9);
+      std::vector<float> c(static_cast<size_t>(n * n));
+      auto time_at = [&](const char* nt) {
+        core::Env::set("MLS_KERNEL_THREADS", nt);
+        const double t = min_time(
+            [&] {
+              kernels::gemm(a.data(), b.data(), c.data(), n, n, n, false,
+                            false);
+            },
+            5);
+        core::Env::clear("MLS_KERNEL_THREADS");
+        return t;
+      };
+      const double t1 = time_at("1");
+      const double t4 = time_at("4");
+      const double scaling = t1 / t4;
+      std::printf("smoke: 4-thread scaling %.2fx (gate: >= 1.5x)\n", scaling);
+      check(scaling >= 1.5, "4-thread GEMM >= 1.5x single-thread");
+    } else {
+      std::printf("smoke: 4-thread scaling gate skipped (%u core%s)\n", cores,
+                  cores == 1 ? "" : "s");
+    }
+  }
+
   std::printf("smoke: %s\n", failures == 0 ? "all checks passed" : "FAILED");
   return failures == 0 ? 0 : 1;
 }
@@ -221,7 +256,8 @@ int run_json(const std::string& path) {
         "(%.1fx vs prepr)\n",
         static_cast<long long>(n), g_pre, g_ref, g_blk, g_blk / g_pre);
   }
-  std::fprintf(f, "  ],\n  \"thread_scaling\": [\n");
+  std::fprintf(f, "  ],\n  \"host_cores\": %u,\n  \"thread_scaling\": [\n",
+               std::thread::hardware_concurrency());
   {
     const int64_t n = 512;
     const std::vector<float> a = random_vec(n * n, 30);
@@ -240,6 +276,60 @@ int run_json(const std::string& path) {
                    flops / t / 1e9, nt == 4 ? "" : ",");
       std::printf("gemm n=512 threads=%d: %.2f GFLOP/s\n", nt,
                   flops / t / 1e9);
+    }
+  }
+  // Per-thread-count curves for bmm and the fused epilogues too: the
+  // serve/overlap benches lean on exactly these shapes (QK^T bmm, MLP
+  // bias+GeLU, attention softmax), so GEMM-only scaling would hide a
+  // pool regression in the ops they actually run. Fused-op "gflops"
+  // use nominal per-element op counts (bias_gelu 15, softmax 5) — the
+  // absolute number is a convention; the curve is the datum.
+  std::fprintf(f, "  ],\n  \"thread_scaling_ops\": [\n");
+  {
+    struct OpTime {
+      const char* name;
+      double flops;
+      std::function<void()> fn;
+    };
+    const int64_t nb = 16, s = 128, d = 64;
+    const std::vector<float> qa = random_vec(nb * s * d, 32);
+    const std::vector<float> kb = random_vec(nb * s * d, 33);
+    std::vector<float> sc(static_cast<size_t>(nb * s * s));
+    const int64_t rows = 1024, h = 1024;
+    const std::vector<float> gx = random_vec(rows * h, 34);
+    const std::vector<float> gb = random_vec(h, 35);
+    std::vector<float> gy(static_cast<size_t>(rows * h));
+    const int64_t sb = 16, ss = 256;
+    const std::vector<float> sx = random_vec(sb * ss * ss, 36);
+    std::vector<float> sy(static_cast<size_t>(sb * ss * ss));
+    const OpTime ops_to_time[] = {
+        {"bmm_qkt", 2.0 * nb * s * s * d,
+         [&] {
+           kernels::bmm(qa.data(), kb.data(), sc.data(), nb, s, s, d, false,
+                        true);
+         }},
+        {"bias_gelu", 15.0 * rows * h,
+         [&] { kernels::bias_gelu(gx.data(), gb.data(), gy.data(), rows, h); }},
+        {"scaled_softmax", 5.0 * sb * ss * ss,
+         [&] {
+           kernels::scaled_softmax(sx.data(), sy.data(), sb * ss, ss, ss,
+                                   0.125f, true);
+         }},
+    };
+    for (size_t oi = 0; oi < std::size(ops_to_time); ++oi) {
+      const OpTime& op = ops_to_time[oi];
+      for (int nt : {1, 2, 4}) {
+        core::Env::set("MLS_KERNEL_THREADS", std::to_string(nt));
+        const double t = min_time(op.fn, 5);
+        core::Env::clear("MLS_KERNEL_THREADS");
+        const bool last = oi + 1 == std::size(ops_to_time) && nt == 4;
+        std::fprintf(f,
+                     "    {\"op\": \"%s\", \"threads\": %d, \"gflops\": "
+                     "%.2f}%s\n",
+                     op.name, nt, op.flops / t / 1e9, last ? "" : ",");
+        std::printf("%s threads=%d: %.2f GFLOP/s\n", op.name, nt,
+                    op.flops / t / 1e9);
+      }
     }
   }
   std::fprintf(f, "  ],\n  \"fused\": [\n");

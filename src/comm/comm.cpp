@@ -21,6 +21,7 @@
 #include "fault/inject.h"
 #include "memory/pool_allocator.h"
 #include "runtime/stream.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 
 namespace mls::comm {
@@ -632,10 +633,17 @@ CommHandle Comm::launch(std::function<Tensor(Comm&)> op, const char* what) {
   // same identity on both execution paths. Disarmed cost: one load.
   const int f_rank = fault::armed() ? fault::current_rank() : -1;
   const int64_t f_step = fault::armed() ? fault::current_step() : -1;
+  // Carry the issuing rank's kernel binding onto the comm worker: any
+  // kernels the overlapped op runs (reduce math, staging packs) size
+  // their thread count from the same rank, and under MLS_KERNEL_PIN
+  // the worker floats over that rank's core slice instead of landing
+  // on whatever core the OS picked.
+  const kernels::RankBinding kbind = kernels::rank_binding();
   world_->comm_stream(rank_).enqueue(
-      [state, alias, site, f_rank, f_step, arena = std::move(arena),
+      [state, alias, site, f_rank, f_step, kbind, arena = std::move(arena),
        op = std::move(op)]() mutable {
         memory::ArenaGuard arena_guard(std::move(arena));
+        kernels::BindGuard kernel_bind(kbind);
         std::optional<fault::TrainScope> fscope;
         if (f_rank != -1 || f_step != -1) fscope.emplace(f_rank, f_step);
         std::optional<analysis::SiteGuard> guard;

@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "fault/inject.h"
+#include "tensor/kernels.h"
 
 namespace mls::spmd {
 
@@ -24,6 +25,10 @@ void run(int world_size, const RankFn& fn) {
   threads.reserve(static_cast<size_t>(world_size));
   for (int r = 0; r < world_size; ++r) {
     threads.emplace_back([&, r] {
+      // Rank threads carry their identity into the kernel substrate: it
+      // sizes the default intra-op thread count (cores / world) and,
+      // under MLS_KERNEL_PIN, pins this thread to its core slice.
+      kernels::bind_rank(r, world_size);
       // Poison with the failing rank's message so the peers it strands
       // unwind with an error naming the original failure, not just
       // "another rank failed".

@@ -2,12 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 #include "core/env.h"
 
@@ -30,33 +36,98 @@ constexpr int64_t KC = 256;
 constexpr int64_t NC = 512;
 
 // Below this many multiply-adds a GEMM is not worth fanning out to the
-// worker pool (thread wake + join would dominate).
+// worker pool (even a spin wake would dominate).
 constexpr int64_t kParallelGrain = int64_t{1} << 18;
+// Elementwise grain for the fused epilogues (their per-element cost is
+// tanh/exp-heavy, so the bar is lower than the GEMM's).
+constexpr int64_t kElemGrain = int64_t{1} << 14;
+// Matches the MLS_KERNEL_THREADS clamp.
+constexpr int kMaxSlots = 64;
+
+int hardware_cores() {
+  static const int n =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  return n;
+}
+
+// ------------------------------------------------------- rank binding
+thread_local RankBinding t_binding;
+
+// [lo, lo+n): the core slice MLS_KERNEL_PIN carves out for a rank.
+struct CoreSlice {
+  int lo = 0;
+  int n = 1;
+};
+
+CoreSlice rank_slice(RankBinding b) {
+  const int cores = hardware_cores();
+  const int world = std::max(1, b.world);
+  const int rank = std::clamp(b.rank, 0, world - 1);
+  if (world >= cores) return {rank % cores, 1};
+  const int lo = rank * cores / world;
+  const int hi = std::max(lo + 1, (rank + 1) * cores / world);
+  return {lo, hi - lo};
+}
+
+// Pins the calling thread to its rank's slice (which == -1) or to one
+// core of it (which >= 0, wrapped). Cached so repeated applications of
+// an unchanged binding cost one comparison, no syscall.
+void apply_pin(RankBinding b, int which) {
+  struct Applied {
+    int rank = -1, world = -1, which = -2;
+  };
+  thread_local Applied last;
+  if (last.rank == b.rank && last.world == b.world && last.which == which)
+    return;
+  last = {b.rank, b.world, which};
+#ifdef __linux__
+  const CoreSlice s = rank_slice(b);
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (which >= 0) {
+    CPU_SET(static_cast<unsigned>(s.lo + which % s.n), &set);
+  } else {
+    for (int i = 0; i < s.n; ++i)
+      CPU_SET(static_cast<unsigned>(s.lo + i), &set);
+  }
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)b;
+  (void)which;
+#endif
+}
 
 // ------------------------------------------------------------- packing
-// Per-thread packing scratch. Workers and rank threads each get their
-// own, so packing never contends and buffers are reused across calls.
+// Per-thread packing scratch: the submitting thread and every
+// persistent worker own their panels outright, reused across calls —
+// packing never contends and never reallocates in steady state.
 thread_local std::vector<float> tl_pack_a;
 thread_local std::vector<float> tl_pack_b;
 
+// Packs one NR-wide column panel of B[0:kc, jr:jr+nr] (logical, after
+// trans) into panel[kk*NR + j]. Columns beyond nr are zero-filled so
+// the micro-kernel never branches on the n edge.
+void pack_b_panel(const float* b, float* panel, int64_t kc, int64_t nr,
+                  int64_t rs_b, int64_t cs_b) {
+  for (int64_t kk = 0; kk < kc; ++kk) {
+    const float* src = b + kk * rs_b;
+    float* dst = panel + kk * NR;
+    if (cs_b == 1) {
+      for (int64_t j = 0; j < nr; ++j) dst[j] = src[j];
+    } else {
+      for (int64_t j = 0; j < nr; ++j) dst[j] = src[j * cs_b];
+    }
+    for (int64_t j = nr; j < NR; ++j) dst[j] = 0.0f;
+  }
+}
+
 // Packs B[pc:pc+kc, jc:jc+nc] (logical, after trans) into NR-wide
-// column panels: bp[(jr/NR) * kc*NR + kk*NR + j]. Columns beyond nc are
-// zero-filled so the micro-kernel never branches on the n edge.
+// column panels: bp[(jr/NR) * kc*NR + kk*NR + j].
 void pack_b(const float* b, float* bp, int64_t kc, int64_t nc, int64_t rs_b,
             int64_t cs_b) {
   for (int64_t jr = 0; jr < nc; jr += NR) {
-    const int64_t nr = std::min(NR, nc - jr);
-    float* panel = bp + (jr / NR) * kc * NR;
-    for (int64_t kk = 0; kk < kc; ++kk) {
-      const float* src = b + kk * rs_b + jr * cs_b;
-      float* dst = panel + kk * NR;
-      if (cs_b == 1) {
-        for (int64_t j = 0; j < nr; ++j) dst[j] = src[j];
-      } else {
-        for (int64_t j = 0; j < nr; ++j) dst[j] = src[j * cs_b];
-      }
-      for (int64_t j = nr; j < NR; ++j) dst[j] = 0.0f;
-    }
+    pack_b_panel(b + jr * cs_b, bp + (jr / NR) * kc * NR, kc,
+                 std::min(NR, nc - jr), rs_b, cs_b);
   }
 }
 
@@ -116,14 +187,46 @@ void micro_kernel(const float* ap, const float* bp, float* c, int64_t ldc,
   }
 }
 
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
 }  // namespace
 
 int threads() {
-  const int64_t t = core::Env::integer("MLS_KERNEL_THREADS", 1);
-  return static_cast<int>(std::clamp<int64_t>(t, 1, 64));
+  const int64_t t = core::Env::integer("MLS_KERNEL_THREADS", 0);
+  if (t > 0) return static_cast<int>(std::min<int64_t>(t, kMaxSlots));
+  const int world = std::max(1, t_binding.world);
+  return std::clamp(hardware_cores() / world, 1, kMaxSlots);
 }
 
 bool use_reference() { return core::Env::flag("MLS_KERNEL_REF", false); }
+
+bool pin_enabled() { return core::Env::flag("MLS_KERNEL_PIN", false); }
+
+int spin_us() {
+  const int64_t def = hardware_cores() > 1 ? 100 : 0;
+  const int64_t v = core::Env::integer("MLS_KERNEL_SPIN_US", def);
+  return static_cast<int>(std::clamp<int64_t>(v, 0, 1000000));
+}
+
+void bind_rank(int rank, int world) {
+  t_binding = {rank, std::max(1, world)};
+  if (pin_enabled()) apply_pin(t_binding, /*which=*/-1);
+}
+
+RankBinding rank_binding() { return t_binding; }
+
+BindGuard::BindGuard(RankBinding b) : prev_(t_binding) {
+  t_binding = {b.rank, std::max(1, b.world)};
+  if (pin_enabled()) apply_pin(t_binding, /*which=*/-1);
+}
+
+BindGuard::~BindGuard() { t_binding = prev_; }
 
 void gemm_blocked(const float* a, const float* b, float* c, int64_t m,
                   int64_t n, int64_t k, bool trans_a, bool trans_b,
@@ -206,12 +309,84 @@ void gemm_ref(const float* a, const float* b, float* c, int64_t m, int64_t n,
 // ---------------------------------------------------------- worker pool
 namespace {
 
-// A small per-caller-thread worker pool. Each thread that issues
-// parallel kernels (each simulated rank, each runtime stream worker)
-// owns its workers outright: no cross-rank queue contention, and the
-// pool is torn down by the thread_local destructor when the owning
-// thread exits. Tasks index a deterministic partition of the output,
-// so which worker runs which task never affects results.
+int64_t ceil_div(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+// Spins with pause, yielding periodically so oversubscribed hosts (the
+// 1-core CI container, nested rank x worker tests) still make progress.
+template <typename Pred>
+void spin_until(const Pred& pred) {
+  int iter = 0;
+  while (!pred()) {
+    cpu_pause();
+    if ((++iter & 0x3f) == 0) std::this_thread::yield();
+  }
+}
+
+// Spin for roughly `budget_us`, checking pred; returns pred's value.
+template <typename Pred>
+bool spin_for(const Pred& pred, int budget_us) {
+  if (budget_us <= 0) return pred();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(budget_us);
+  int iter = 0;
+  for (;;) {
+    if (pred()) return true;
+    cpu_pause();
+    if ((++iter & 0x3f) == 0) {
+      std::this_thread::yield();
+      if (std::chrono::steady_clock::now() >= deadline) return pred();
+    }
+  }
+}
+
+// Sense-reversing spin barrier for the cooperative GEMM's pack/compute
+// phases. Participants are the job's active slots only; phases are
+// microseconds long, so waiting spins (with yields) and never parks.
+class SpinBarrier {
+ public:
+  void reset(int n) {
+    n_ = n;
+    count_.store(n, std::memory_order_relaxed);
+    phase_.store(0, std::memory_order_relaxed);
+  }
+
+  void wait() {
+    const uint64_t phase = phase_.load(std::memory_order_acquire);
+    if (count_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      count_.store(n_, std::memory_order_relaxed);
+      phase_.store(phase + 1, std::memory_order_release);
+    } else {
+      spin_until([&] {
+        return phase_.load(std::memory_order_acquire) != phase;
+      });
+    }
+  }
+
+ private:
+  std::atomic<uint64_t> phase_{0};
+  std::atomic<int> count_{0};
+  int n_ = 0;
+};
+
+// Marks pool worker threads so a re-entrant run() (which would
+// deadlock) degrades to inline execution instead.
+thread_local bool t_in_pool_worker = false;
+
+// A persistent per-caller-thread worker pool. Each thread that issues
+// parallel kernels (each simulated rank, each comm-stream worker) owns
+// its workers outright: no cross-rank queue contention, and the pool is
+// torn down by the thread_local destructor when the owning thread exits
+// (including poisoned-world unwinds).
+//
+// Dispatch protocol: the owner publishes a job by bumping seq_ (one
+// release-ordered increment); workers spin on seq_ for spin_us, then
+// park on a condition variable. Every worker consumes every job in
+// strict sequence (seq_ can only be one ahead of a worker's last
+// consumed job, because the owner waits for all workers before
+// publishing the next one) — that is what makes the unsynchronized job
+// fields race-free: they are stable from the seq_ publish until the
+// last done_ increment. Workers whose slot index is beyond the job's
+// nslots just acknowledge and go back to waiting.
 class WorkerPool {
  public:
   static WorkerPool& local() {
@@ -220,79 +395,255 @@ class WorkerPool {
   }
 
   ~WorkerPool() {
+    stop_.store(true, std::memory_order_seq_cst);
     {
       std::lock_guard<std::mutex> lock(mu_);
-      stop_ = true;
+      cv_.notify_all();
     }
-    cv_start_.notify_all();
-    for (auto& w : workers_) w.join();
+    for (auto& w : workers_) w.thread.join();
   }
 
-  // Runs fn(0..ntasks-1), the caller participating; returns when all
-  // tasks completed. ntasks-1 workers are (lazily) kept alive.
-  void run(int ntasks, const std::function<void(int)>& fn) {
-    if (ntasks <= 1) {
+  // Runs fn(0..nslots-1), the caller executing slot 0; returns when
+  // every slot completed. fn may call barrier() as long as every one
+  // of the nslots slots reaches the same barrier sequence (the
+  // cooperative GEMM below does; fn must not throw between barriers).
+  void run(int nslots, const std::function<void(int)>& fn) {
+    nslots = std::min(nslots, kMaxSlots);
+    if (nslots <= 1 || t_in_pool_worker) {
       fn(0);
       return;
     }
-    spawn(ntasks - 1);
-    std::unique_lock<std::mutex> lock(mu_);
-    job_ = &fn;
-    ntasks_ = ntasks;
-    next_ = 0;
-    done_ = 0;
-    ++generation_;
-    cv_start_.notify_all();
-    drain(lock);
-    cv_done_.wait(lock, [&] { return done_ == ntasks_; });
-    job_ = nullptr;
+    spawn(nslots - 1);
+    const int nworkers = static_cast<int>(workers_.size());
+    job_fn_ = &fn;
+    job_nslots_ = nslots;
+    job_binding_ = t_binding;
+    job_pin_ = pin_enabled();
+    job_spin_us_ = spin_us();
+    barrier_.reset(nslots);
+    done_.store(0, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    ++jobs_;
+    seq_.fetch_add(1, std::memory_order_seq_cst);
+    // Dekker pairing with the workers' parked_ increment: publish seq_
+    // first, then look at parked_; a worker that missed the publish is
+    // guaranteed visible here (and vice versa), so no lost wakeup.
+    if (parked_.load(std::memory_order_seq_cst) > 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      cv_.notify_all();
+    }
+    try {
+      fn(0);
+    } catch (...) {
+      // Kernels do not throw; this keeps a misbehaving barrier-free
+      // job from abandoning the workers mid-protocol.
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    // Wait for every worker (participant or not) to acknowledge.
+    auto all_done = [&] {
+      return done_.load(std::memory_order_acquire) == nworkers;
+    };
+    if (!spin_for(all_done, job_spin_us_)) {
+      done_waiter_.fetch_add(1, std::memory_order_seq_cst);
+      {
+        std::unique_lock<std::mutex> lock(done_mu_);
+        done_cv_.wait(lock, all_done);
+      }
+      done_waiter_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    job_fn_ = nullptr;
+    if (first_error_) std::rethrow_exception(first_error_);
+  }
+
+  void barrier() { barrier_.wait(); }
+
+  // Shared packed-B panel for the cooperative GEMM (packed once per
+  // (jc, pc) cache block, read-only for all slots after the barrier).
+  // Only the pool owner may call this (it resizes), and only outside
+  // run() — workers receive the stable data pointer via the job.
+  float* shared_b() {
+    shared_b_.resize(static_cast<size_t>(KC * NC));
+    return shared_b_.data();
+  }
+
+  PoolStats stats() const {
+    return {static_cast<int>(workers_.size()), jobs_};
   }
 
  private:
+  struct Worker {
+    std::thread thread;
+  };
+
   void spawn(int nworkers) {
     while (static_cast<int>(workers_.size()) < nworkers) {
-      workers_.emplace_back([this] { worker_loop(); });
+      const int index = static_cast<int>(workers_.size());
+      // A freshly spawned worker starts at the current seq_ so it can
+      // never consume a job published before it existed (spawn happens
+      // in run(), strictly before the new job is published).
+      const uint64_t start_seq = seq_.load(std::memory_order_relaxed);
+      workers_.push_back(
+          {std::thread([this, index, start_seq] { worker_loop(index, start_seq); })});
     }
   }
 
-  // Pulls tasks until the current job's queue is empty. Caller holds
-  // the lock; the task body runs unlocked.
-  void drain(std::unique_lock<std::mutex>& lock) {
-    while (next_ < ntasks_) {
-      const int t = next_++;
-      const std::function<void(int)>* job = job_;
-      lock.unlock();
-      (*job)(t);
-      lock.lock();
-      if (++done_ == ntasks_) cv_done_.notify_all();
-    }
-  }
-
-  void worker_loop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    uint64_t seen = 0;
+  void worker_loop(int index, uint64_t last) {
+    t_in_pool_worker = true;
+    // Spin budget used while waiting for the next job; refreshed from
+    // each consumed job's env read (worker-local — workers must not
+    // share it, they update it concurrently).
+    int spin_budget_us = 0;
     for (;;) {
-      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
-      if (stop_) return;
-      seen = generation_;
-      drain(lock);
+      auto next_job = [&] {
+        return stop_.load(std::memory_order_acquire) ||
+               seq_.load(std::memory_order_acquire) != last;
+      };
+      if (!spin_for(next_job, spin_budget_us)) {
+        // Park: Dekker pairing with run()'s parked_ check (see above).
+        parked_.fetch_add(1, std::memory_order_seq_cst);
+        {
+          std::unique_lock<std::mutex> lock(mu_);
+          cv_.wait(lock, next_job);
+        }
+        parked_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      if (stop_.load(std::memory_order_acquire)) return;
+      ++last;  // == seq_: the owner publishes jobs one at a time
+      spin_budget_us = job_spin_us_;
+      if (job_pin_) apply_pin(job_binding_, /*which=*/1 + index);
+      const int slot = 1 + index;
+      if (slot < job_nslots_) {
+        BindGuard bind(job_binding_);
+        try {
+          (*job_fn_)(slot);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (!first_error_) first_error_ = std::current_exception();
+        }
+      }
+      done_.fetch_add(1, std::memory_order_seq_cst);
+      if (done_waiter_.load(std::memory_order_seq_cst) > 0) {
+        std::lock_guard<std::mutex> lock(done_mu_);
+        done_cv_.notify_all();
+      }
     }
   }
 
+  // Job fields: written by the owner before the seq_ publish, stable
+  // until every worker's done_ increment (see class comment).
+  const std::function<void(int)>* job_fn_ = nullptr;
+  int job_nslots_ = 0;
+  RankBinding job_binding_;
+  bool job_pin_ = false;
+  int job_spin_us_ = 0;
+  std::exception_ptr first_error_;
+
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<int> done_{0};
+  std::atomic<int> parked_{0};
+  std::atomic<int> done_waiter_{0};
+  std::atomic<bool> stop_{false};
   std::mutex mu_;
-  std::condition_variable cv_start_, cv_done_;
-  std::vector<std::thread> workers_;
-  const std::function<void(int)>* job_ = nullptr;
-  uint64_t generation_ = 0;
-  int ntasks_ = 0;
-  int next_ = 0;
-  int done_ = 0;
-  bool stop_ = false;
+  std::condition_variable cv_;
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  SpinBarrier barrier_;
+  std::vector<Worker> workers_;
+  std::vector<float> shared_b_;
+  uint64_t jobs_ = 0;
 };
 
-int64_t ceil_div(int64_t a, int64_t b) { return (a + b - 1) / b; }
+// ------------------------------------------------- cooperative GEMM
+// One blocked GEMM executed by nslots cooperating slots. Per (jc, pc)
+// cache block the B panel is packed once — the jr sub-panels are
+// round-robined over the slots — and shared read-only after a barrier.
+// Then either:
+//  * M-split (enough row tiles): each slot owns a contiguous
+//    MR-aligned row range and streams whole MC x nc blocks over the
+//    shared panel with its own packed A — no redundant packing at all;
+//  * N-split (short matrices): each slot owns a contiguous NR-aligned
+//    column range of the block and packs the (small) A itself.
+// Both splits write disjoint C elements and never touch the k order,
+// so results are bit-identical to the single-thread kernel and to each
+// other at any slot count.
+struct GemmShape {
+  const float* a;
+  const float* b;
+  float* c;
+  int64_t m, n, k;
+  int64_t rs_a, cs_a, rs_b, cs_b, ldc;
+};
+
+void gemm_cooperative(const GemmShape& g, WorkerPool& pool, float* bp,
+                      int slot, int nslots) {
+  tl_pack_a.resize(static_cast<size_t>(MC * KC));
+  float* ap = tl_pack_a.data();
+
+  const bool split_m = g.m / MR >= nslots;
+  // M-split: slot's MR-aligned row range, fixed across blocks.
+  const int64_t m_chunk = ceil_div(ceil_div(g.m, nslots), MR) * MR;
+  const int64_t i_begin = std::min<int64_t>(g.m, slot * m_chunk);
+  const int64_t i_end = std::min<int64_t>(g.m, i_begin + m_chunk);
+
+  for (int64_t jc = 0; jc < g.n; jc += NC) {
+    const int64_t nc = std::min(NC, g.n - jc);
+    // N-split: slot's NR-aligned column range within this block.
+    const int64_t n_chunk = ceil_div(ceil_div(nc, nslots), NR) * NR;
+    const int64_t j_begin = std::min<int64_t>(nc, slot * n_chunk);
+    const int64_t j_end = std::min<int64_t>(nc, j_begin + n_chunk);
+    for (int64_t pc = 0; pc < g.k; pc += KC) {
+      const int64_t kc = std::min(KC, g.k - pc);
+      const bool accumulate = pc > 0;
+      // Phase 1: cooperative pack of the shared B panel (round-robin
+      // over jr sub-panels so the work balances).
+      const float* bblock = g.b + pc * g.rs_b + jc * g.cs_b;
+      for (int64_t jr = slot * NR; jr < nc; jr += nslots * NR) {
+        pack_b_panel(bblock + jr * g.cs_b, bp + (jr / NR) * kc * NR, kc,
+                     std::min(NR, nc - jr), g.rs_b, g.cs_b);
+      }
+      pool.barrier();
+      // Phase 2: micro-kernels over this slot's slab.
+      if (split_m) {
+        for (int64_t ic = i_begin; ic < i_end; ic += MC) {
+          const int64_t mc = std::min(MC, i_end - ic);
+          pack_a(g.a + ic * g.rs_a + pc * g.cs_a, ap, mc, kc, g.rs_a, g.cs_a);
+          for (int64_t jr = 0; jr < nc; jr += NR) {
+            const int64_t nr = std::min(NR, nc - jr);
+            const float* bpanel = bp + (jr / NR) * kc * NR;
+            for (int64_t ir = 0; ir < mc; ir += MR) {
+              const int64_t mr = std::min(MR, mc - ir);
+              micro_kernel(ap + (ir / MR) * kc * MR, bpanel,
+                           g.c + (ic + ir) * g.ldc + jc + jr, g.ldc, kc, mr,
+                           nr, accumulate);
+            }
+          }
+        }
+      } else if (j_begin < j_end) {
+        for (int64_t ic = 0; ic < g.m; ic += MC) {
+          const int64_t mc = std::min(MC, g.m - ic);
+          pack_a(g.a + ic * g.rs_a + pc * g.cs_a, ap, mc, kc, g.rs_a, g.cs_a);
+          for (int64_t jr = j_begin; jr < j_end; jr += NR) {
+            const int64_t nr = std::min(NR, nc - jr);
+            const float* bpanel = bp + (jr / NR) * kc * NR;
+            for (int64_t ir = 0; ir < mc; ir += MR) {
+              const int64_t mr = std::min(MR, mc - ir);
+              micro_kernel(ap + (ir / MR) * kc * MR, bpanel,
+                           g.c + (ic + ir) * g.ldc + jc + jr, g.ldc, kc, mr,
+                           nr, accumulate);
+            }
+          }
+        }
+      }
+      // The next (pc, jc) block overwrites the shared panel; every
+      // reader must be past it first.
+      pool.barrier();
+    }
+  }
+}
 
 }  // namespace
+
+PoolStats local_pool_stats() { return WorkerPool::local().stats(); }
 
 void gemm(const float* a, const float* b, float* c, int64_t m, int64_t n,
           int64_t k, bool trans_a, bool trans_b) {
@@ -308,30 +659,22 @@ void gemm(const float* a, const float* b, float* c, int64_t m, int64_t n,
     gemm_blocked(a, b, c, m, n, k, trans_a, trans_b, lda, ldb, n);
     return;
   }
-  // Split the larger of M/N into per-task tile-aligned ranges. Each
-  // task is a complete blocked GEMM over its row/column slab; every
-  // output element is produced by exactly one task with the same
-  // k-order as the single-thread run, so results are bit-identical.
-  const bool split_n = n >= m;
-  if (split_n) {
-    const int64_t chunk = ceil_div(ceil_div(n, nt), NR) * NR;
-    const int ntasks = static_cast<int>(ceil_div(n, chunk));
-    WorkerPool::local().run(ntasks, [&](int t) {
-      const int64_t j0 = t * chunk;
-      const int64_t nn = std::min(chunk, n - j0);
-      gemm_blocked(a, b + (trans_b ? j0 * ldb : j0), c + j0, m, nn, k, trans_a,
-                   trans_b, lda, ldb, n);
-    });
-  } else {
-    const int64_t chunk = ceil_div(ceil_div(m, nt), MR) * MR;
-    const int ntasks = static_cast<int>(ceil_div(m, chunk));
-    WorkerPool::local().run(ntasks, [&](int t) {
-      const int64_t i0 = t * chunk;
-      const int64_t mm = std::min(chunk, m - i0);
-      gemm_blocked(a + (trans_a ? i0 : i0 * lda), b, c + i0 * n, mm, n, k,
-                   trans_a, trans_b, lda, ldb, n);
-    });
-  }
+  const GemmShape shape{a,
+                        b,
+                        c,
+                        m,
+                        n,
+                        k,
+                        trans_a ? 1 : lda,
+                        trans_a ? lda : 1,
+                        trans_b ? 1 : ldb,
+                        trans_b ? ldb : 1,
+                        n};
+  WorkerPool& pool = WorkerPool::local();
+  // Size the shared panel on the owner, before publish: the pointer is
+  // stable for the job's lifetime and workers never resize.
+  float* bp = pool.shared_b();
+  pool.run(nt, [&](int slot) { gemm_cooperative(shape, pool, bp, slot, nt); });
 }
 
 void bmm(const float* a, const float* b, float* c, int64_t nb, int64_t m,
@@ -346,26 +689,35 @@ void bmm(const float* a, const float* b, float* c, int64_t nb, int64_t m,
     }
     return;
   }
+  if (nb == 1) {
+    // A single batch still gets cooperative M/N parallelism via gemm().
+    gemm(a, b, c, m, n, k, trans_a, trans_b);
+    return;
+  }
   const int64_t lda = trans_a ? m : k;
   const int64_t ldb = trans_b ? k : n;
   int nt = threads();
   if (nt > 1 && nb * m * n * k < kParallelGrain) nt = 1;
-  if (nt == 1 || nb == 1) {
-    // A single batch still gets M/N-tile parallelism via gemm().
-    if (nb == 1) {
-      gemm(a, b, c, m, n, k, trans_a, trans_b);
-      return;
-    }
+  if (nt == 1) {
     for (int64_t i = 0; i < nb; ++i) {
       gemm_blocked(a + i * a_stride, b + i * b_stride, c + i * c_stride, m, n,
                    k, trans_a, trans_b, lda, ldb, n);
     }
     return;
   }
-  // Batches are independent: split the batch dimension.
+  if (nb < nt) {
+    // Too few batches to slab: run each batch cooperatively instead.
+    for (int64_t i = 0; i < nb; ++i) {
+      gemm(a + i * a_stride, b + i * b_stride, c + i * c_stride, m, n, k,
+           trans_a, trans_b);
+    }
+    return;
+  }
+  // Batches are independent: contiguous batch slabs, one per slot, each
+  // a serial blocked GEMM on the worker's own persistent pack buffers.
   const int64_t chunk = ceil_div(nb, nt);
-  const int ntasks = static_cast<int>(ceil_div(nb, chunk));
-  WorkerPool::local().run(ntasks, [&](int t) {
+  const int nslots = static_cast<int>(ceil_div(nb, chunk));
+  WorkerPool::local().run(nslots, [&](int t) {
     const int64_t i0 = t * chunk;
     const int64_t i1 = std::min(nb, i0 + chunk);
     for (int64_t i = i0; i < i1; ++i) {
@@ -376,24 +728,32 @@ void bmm(const float* a, const float* b, float* c, int64_t nb, int64_t m,
 }
 
 // ------------------------------------------------------- fused epilogues
+namespace {
 
-void bias_gelu(const float* x, const float* bias, float* y, int64_t rows,
-               int64_t h) {
-  for (int64_t r = 0; r < rows; ++r) {
+// Row-range bodies shared by the serial and pooled paths, so the
+// arithmetic (and therefore the bits) cannot diverge between them.
+
+void bias_gelu_rows(const float* x, const float* bias, float* y, int64_t r0,
+                    int64_t r1, int64_t h) {
+  for (int64_t r = r0; r < r1; ++r) {
     const float* xr = x + r * h;
     float* yr = y + r * h;
     for (int64_t j = 0; j < h; ++j) yr[j] = gelu_value(xr[j] + bias[j]);
   }
 }
 
-void bias_gelu_grad(const float* x, const float* bias, const float* dy,
-                    float* dx, float* dbias, int64_t rows, int64_t h) {
-  std::memset(dbias, 0, sizeof(float) * static_cast<size_t>(h));
+// Column-range body: dbias[j] sums rows in increasing r within [j0,j1),
+// exactly the composed sum_to_last_dim order — partitioning columns
+// (never rows) is what keeps dbias bit-identical at any thread count.
+void bias_gelu_grad_cols(const float* x, const float* bias, const float* dy,
+                         float* dx, float* dbias, int64_t rows, int64_t h,
+                         int64_t j0, int64_t j1) {
+  std::memset(dbias + j0, 0, sizeof(float) * static_cast<size_t>(j1 - j0));
   for (int64_t r = 0; r < rows; ++r) {
     const float* xr = x + r * h;
     const float* gr = dy + r * h;
     float* dr = dx + r * h;
-    for (int64_t j = 0; j < h; ++j) {
+    for (int64_t j = j0; j < j1; ++j) {
       const float d = gr[j] * gelu_derivative(xr[j] + bias[j]);
       dr[j] = d;
       dbias[j] += d;
@@ -401,9 +761,9 @@ void bias_gelu_grad(const float* x, const float* bias, const float* dy,
   }
 }
 
-void scaled_softmax(const float* x, float* y, int64_t rows, int64_t sq,
-                    int64_t sk, float alpha, bool causal) {
-  for (int64_t r = 0; r < rows; ++r) {
+void scaled_softmax_rows(const float* x, float* y, int64_t r0, int64_t r1,
+                         int64_t sq, int64_t sk, float alpha, bool causal) {
+  for (int64_t r = r0; r < r1; ++r) {
     const float* in = x + r * sk;
     float* out = y + r * sk;
     const int64_t qi = causal ? (r % sq) : 0;
@@ -423,9 +783,9 @@ void scaled_softmax(const float* x, float* y, int64_t rows, int64_t sq,
   }
 }
 
-void scaled_softmax_grad(const float* y, const float* dy, float* dx,
-                         int64_t rows, int64_t n, float alpha) {
-  for (int64_t r = 0; r < rows; ++r) {
+void scaled_softmax_grad_rows(const float* y, const float* dy, float* dx,
+                              int64_t r0, int64_t r1, int64_t n, float alpha) {
+  for (int64_t r = r0; r < r1; ++r) {
     const float* yr = y + r * n;
     const float* gr = dy + r * n;
     float* dr = dx + r * n;
@@ -434,6 +794,63 @@ void scaled_softmax_grad(const float* y, const float* dy, float* dx,
     const float d = static_cast<float>(dot);
     for (int64_t j = 0; j < n; ++j) dr[j] = alpha * (yr[j] * (gr[j] - d));
   }
+}
+
+// Partitions [0, count) into pool slots (contiguous, align-rounded
+// chunks) and runs body(begin, end) on each. Every element is handled
+// by exactly one slot and per-element work is order-independent across
+// slots, so the result is bit-identical at any thread count.
+template <typename Body>
+void parallel_ranges(int64_t count, int64_t total_elems, int64_t align,
+                     const Body& body) {
+  int nt = threads();
+  if (nt > 1 && total_elems < kElemGrain) nt = 1;
+  if (nt == 1 || count <= 1) {
+    body(0, count);
+    return;
+  }
+  const int64_t chunk = ceil_div(ceil_div(count, nt), align) * align;
+  const int nslots = static_cast<int>(ceil_div(count, chunk));
+  if (nslots <= 1) {
+    body(0, count);
+    return;
+  }
+  WorkerPool::local().run(nslots, [&](int slot) {
+    const int64_t b = slot * chunk;
+    const int64_t e = std::min(count, b + chunk);
+    if (b < e) body(b, e);
+  });
+}
+
+}  // namespace
+
+void bias_gelu(const float* x, const float* bias, float* y, int64_t rows,
+               int64_t h) {
+  parallel_ranges(rows, rows * h, 1, [&](int64_t r0, int64_t r1) {
+    bias_gelu_rows(x, bias, y, r0, r1, h);
+  });
+}
+
+void bias_gelu_grad(const float* x, const float* bias, const float* dy,
+                    float* dx, float* dbias, int64_t rows, int64_t h) {
+  // Column partition (16-aligned against false sharing on dx rows).
+  parallel_ranges(h, rows * h, 16, [&](int64_t j0, int64_t j1) {
+    bias_gelu_grad_cols(x, bias, dy, dx, dbias, rows, h, j0, j1);
+  });
+}
+
+void scaled_softmax(const float* x, float* y, int64_t rows, int64_t sq,
+                    int64_t sk, float alpha, bool causal) {
+  parallel_ranges(rows, rows * sk, 1, [&](int64_t r0, int64_t r1) {
+    scaled_softmax_rows(x, y, r0, r1, sq, sk, alpha, causal);
+  });
+}
+
+void scaled_softmax_grad(const float* y, const float* dy, float* dx,
+                         int64_t rows, int64_t n, float alpha) {
+  parallel_ranges(rows, rows * n, 1, [&](int64_t r0, int64_t r1) {
+    scaled_softmax_grad_rows(y, dy, dx, r0, r1, n, alpha);
+  });
 }
 
 // ---------------------------------------------------- layout transposes

@@ -19,11 +19,24 @@
 //    k, never on tile position, m/n edges, or the thread count — so
 //    results are bit-identical at any MLS_KERNEL_THREADS and invariant
 //    under column sharding of B / row sharding of A outputs.
-//  * Intra-op parallelism (MLS_KERNEL_THREADS, default 1) splits over
-//    M/N tiles (or the batch dimension for bmm) ONLY — never the k
-//    reduction. Workers live in a small per-caller-thread pool, so the
+//  * Intra-op parallelism (MLS_KERNEL_THREADS, default: host cores
+//    divided by the calling rank's world size) splits over M/N tiles
+//    (or the batch dimension for bmm) ONLY — never the k reduction.
+//    Workers are persistent per-caller-thread: they spin briefly for
+//    the next kernel (MLS_KERNEL_SPIN_US), then park on a condition
+//    variable, so the per-GEMM dispatch cost is a couple of atomic
+//    stores, not a mutex handshake. Threaded GEMMs run cooperatively:
+//    the B panel of each (jc, pc) cache block is packed once, shared
+//    read-only, and the M dimension is slabbed across workers so each
+//    streams whole MC x NC blocks with its own packed A panels. The
 //    thread-per-rank substrate and runtime streams never contend on a
 //    shared queue and teardown is per rank-thread.
+//  * MLS_KERNEL_PIN=1 partitions the host cores across the simulated
+//    ranks (spmd::run binds each rank thread, see bind_rank below):
+//    rank r of W gets cores [rC/W, (r+1)C/W); its kernel workers pin
+//    to distinct cores of the slice while the rank thread and its
+//    comm-stream worker float over the whole slice. No rank ever
+//    oversubscribes another's cores.
 //  * MLS_KERNEL_REF=1 routes gemm()/bmm-shaped calls through gemm_ref(),
 //    the pre-blocking scalar kernel (single-threaded), for A/B numeric
 //    debugging. Blocked-vs-ref differ only by float reassociation of the
@@ -40,11 +53,53 @@
 
 namespace mls::kernels {
 
-// MLS_KERNEL_THREADS (clamped to [1, 64]); re-read on every call so
-// tests can toggle via core::Env.
+// Intra-op worker threads for the calling thread's kernels, re-read on
+// every call so tests can toggle via core::Env. MLS_KERNEL_THREADS set
+// to a positive value wins (clamped to [1, 64]); unset or 0 resolves
+// the default: host cores / the caller's bound world size (so W ranks
+// on a C-core host get C/W workers each and never oversubscribe), at
+// least 1.
 int threads();
 // MLS_KERNEL_REF — route GEMMs through the reference scalar kernel.
 bool use_reference();
+// MLS_KERNEL_PIN — pin rank threads / kernel workers to per-rank core
+// slices (default off; Linux affinity, a no-op elsewhere).
+bool pin_enabled();
+// MLS_KERNEL_SPIN_US — microseconds a worker spins for the next kernel
+// before parking (default 100 on multi-core hosts, 0 on 1-core).
+int spin_us();
+
+// ------------------------------------------------------- rank binding
+// Which simulated rank the calling thread computes for, and how many
+// ranks exist. spmd::run installs it on every rank thread; Comm::launch
+// carries it onto comm-stream workers (BindGuard). It resolves the
+// default thread count above and the MLS_KERNEL_PIN core slice.
+struct RankBinding {
+  int rank = 0;
+  int world = 1;
+};
+// Sets the calling thread's binding; under MLS_KERNEL_PIN also pins
+// the calling thread to its rank's core slice.
+void bind_rank(int rank, int world);
+RankBinding rank_binding();
+// Scoped binding for worker threads executing on a rank's behalf.
+class BindGuard {
+ public:
+  explicit BindGuard(RankBinding b);
+  ~BindGuard();
+  BindGuard(const BindGuard&) = delete;
+  BindGuard& operator=(const BindGuard&) = delete;
+
+ private:
+  RankBinding prev_;
+};
+
+// Diagnostics for the calling thread's persistent worker pool.
+struct PoolStats {
+  int workers = 0;     // worker threads spawned (lifetime of the pool)
+  uint64_t jobs = 0;   // parallel kernels dispatched through the pool
+};
+PoolStats local_pool_stats();
 
 // ------------------------------------------------------------------ GEMM
 // C[m,n] = op(A) @ op(B), beta = 0 (C need not be initialized).

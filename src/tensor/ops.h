@@ -23,8 +23,9 @@ namespace mls::ops {
 // the flattened leading axes are the contraction dim: [s,b,h] with
 // trans_a acts as [h, s*b] and the result is 2-D [h, n].
 // Both run on the blocked kernel substrate (tensor/kernels.h): beta=0
-// into uninitialized storage, MLS_KERNEL_THREADS-way M/N-tile
-// parallelism, MLS_KERNEL_REF=1 reference path.
+// into uninitialized storage, M/N-tile parallelism on the persistent
+// per-rank worker pool (MLS_KERNEL_THREADS, on by default at host
+// cores / world size), MLS_KERNEL_REF=1 reference path.
 Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a = false,
               bool trans_b = false);
 

@@ -159,6 +159,181 @@ TEST(KernelGemm, BmmThreadCountDoesNotChangeBits) {
   }
 }
 
+TEST(KernelGemm, PinnedThreadCountsAreBitIdentical) {
+  // The full satellite matrix: GEMM and bmm across 1/2/4/7 workers
+  // *with core pinning enabled*, so the affinity path (rank slice
+  // computation, per-worker pin) runs even on small hosts. Pinning may
+  // serialize on few cores; it must never change bits.
+  ScopedEnv pin("MLS_KERNEL_PIN", "1");
+  const int64_t m = 130, n = 97, k = 256;
+  const std::vector<float> a = random_vec(m * k, 71);
+  const std::vector<float> b = random_vec(k * n, 72);
+  std::vector<float> c1(static_cast<size_t>(m * n));
+  {
+    ScopedEnv env("MLS_KERNEL_THREADS", "1");
+    kernels::gemm(a.data(), b.data(), c1.data(), m, n, k, false, false);
+  }
+  const int64_t nb = 8, bm = 33, bn = 40, bk = 64;
+  const std::vector<float> ba = random_vec(nb * bm * bk, 73);
+  const std::vector<float> bb = random_vec(nb * bk * bn, 74);
+  std::vector<float> bc1(static_cast<size_t>(nb * bm * bn));
+  {
+    ScopedEnv env("MLS_KERNEL_THREADS", "1");
+    kernels::bmm(ba.data(), bb.data(), bc1.data(), nb, bm, bn, bk, false,
+                 true);
+  }
+  for (const char* nt : {"2", "4", "7"}) {
+    ScopedEnv env("MLS_KERNEL_THREADS", nt);
+    std::vector<float> cn(static_cast<size_t>(m * n), -1.0f);
+    kernels::gemm(a.data(), b.data(), cn.data(), m, n, k, false, false);
+    EXPECT_EQ(0, std::memcmp(c1.data(), cn.data(), sizeof(float) * c1.size()))
+        << "gemm threads=" << nt;
+    std::vector<float> bcn(static_cast<size_t>(nb * bm * bn), -1.0f);
+    kernels::bmm(ba.data(), bb.data(), bcn.data(), nb, bm, bn, bk, false,
+                 true);
+    EXPECT_EQ(0,
+              std::memcmp(bc1.data(), bcn.data(), sizeof(float) * bc1.size()))
+        << "bmm threads=" << nt;
+  }
+}
+
+TEST(KernelFused, PinnedThreadCountsAreBitIdenticalForEpilogues) {
+  // Fused epilogues route through the same pool: row partitions for
+  // bias_gelu / softmax(+grad), a *column* partition for
+  // bias_gelu_grad (so each dbias[j] keeps the serial increasing-row
+  // summation order). All must memcmp-match serial at every count.
+  ScopedEnv pin("MLS_KERNEL_PIN", "1");
+  const int64_t rows = 128, h = 256;  // rows*h clears kElemGrain
+  const std::vector<float> x = random_vec(rows * h, 81);
+  const std::vector<float> bias = random_vec(h, 82);
+  const std::vector<float> dy = random_vec(rows * h, 83);
+  const int64_t nbh = 8, sq = 64, sk = 64;  // softmax: [nbh, sq, sk]
+  const std::vector<float> scores = random_vec(nbh * sq * sk, 84);
+
+  std::vector<float> y1(x.size()), dx1(x.size()), db1(bias.size());
+  std::vector<float> sm1(scores.size()), smg1(scores.size());
+  {
+    ScopedEnv env("MLS_KERNEL_THREADS", "1");
+    kernels::bias_gelu(x.data(), bias.data(), y1.data(), rows, h);
+    kernels::bias_gelu_grad(x.data(), bias.data(), dy.data(), dx1.data(),
+                            db1.data(), rows, h);
+    kernels::scaled_softmax(scores.data(), sm1.data(), nbh * sq, sq, sk,
+                            0.25f, /*causal=*/true);
+    kernels::scaled_softmax_grad(sm1.data(), scores.data(), smg1.data(),
+                                 nbh * sq, sk, 0.25f);
+  }
+  for (const char* nt : {"2", "4", "7"}) {
+    ScopedEnv env("MLS_KERNEL_THREADS", nt);
+    std::vector<float> y(x.size(), -1.0f), dx(x.size(), -1.0f);
+    std::vector<float> db(bias.size(), -1.0f);
+    std::vector<float> sm(scores.size(), -1.0f), smg(scores.size(), -1.0f);
+    kernels::bias_gelu(x.data(), bias.data(), y.data(), rows, h);
+    kernels::bias_gelu_grad(x.data(), bias.data(), dy.data(), dx.data(),
+                            db.data(), rows, h);
+    kernels::scaled_softmax(scores.data(), sm.data(), nbh * sq, sq, sk, 0.25f,
+                            /*causal=*/true);
+    kernels::scaled_softmax_grad(sm.data(), scores.data(), smg.data(),
+                                 nbh * sq, sk, 0.25f);
+    EXPECT_EQ(0, std::memcmp(y1.data(), y.data(), sizeof(float) * y.size()))
+        << "bias_gelu threads=" << nt;
+    EXPECT_EQ(0, std::memcmp(dx1.data(), dx.data(), sizeof(float) * dx.size()))
+        << "bias_gelu_grad dx threads=" << nt;
+    EXPECT_EQ(0, std::memcmp(db1.data(), db.data(), sizeof(float) * db.size()))
+        << "bias_gelu_grad dbias threads=" << nt;
+    EXPECT_EQ(0, std::memcmp(sm1.data(), sm.data(), sizeof(float) * sm.size()))
+        << "scaled_softmax threads=" << nt;
+    EXPECT_EQ(0,
+              std::memcmp(smg1.data(), smg.data(), sizeof(float) * smg.size()))
+        << "scaled_softmax_grad threads=" << nt;
+  }
+}
+
+TEST(KernelPool, WorkersPersistAcrossKernels) {
+  // The tentpole claim: workers are spawned once and reused, not
+  // created (or woken through a mutex handshake) per call. Snapshot
+  // the pool after one threaded GEMM, run ten more, and check the
+  // worker count did not move while the job count did.
+  ScopedEnv env("MLS_KERNEL_THREADS", "4");
+  const int64_t m = 130, n = 97, k = 256;
+  const std::vector<float> a = random_vec(m * k, 91);
+  const std::vector<float> b = random_vec(k * n, 92);
+  std::vector<float> c(static_cast<size_t>(m * n));
+  kernels::gemm(a.data(), b.data(), c.data(), m, n, k, false, false);
+  const kernels::PoolStats before = kernels::local_pool_stats();
+  ASSERT_GE(before.workers, 3);  // 4 slots = caller + >= 3 workers
+  for (int i = 0; i < 10; ++i) {
+    kernels::gemm(a.data(), b.data(), c.data(), m, n, k, false, false);
+  }
+  const kernels::PoolStats after = kernels::local_pool_stats();
+  EXPECT_EQ(before.workers, after.workers);
+  EXPECT_GE(after.jobs, before.jobs + 10);
+}
+
+TEST(KernelPool, TeardownSurvivesPoisonedWorldUnwind) {
+  // A rank that throws mid-step unwinds its thread; the thread_local
+  // pool destructor must stop and join that rank's workers without
+  // deadlock, and later runs must come up clean.
+  ScopedEnv env("MLS_KERNEL_THREADS", "4");
+  const int64_t m = 130, n = 97, k = 256;
+  const std::vector<float> a = random_vec(m * k, 95);
+  const std::vector<float> b = random_vec(k * n, 96);
+  EXPECT_THROW(
+      spmd::run(2,
+                [&](comm::Comm& c) {
+                  std::vector<float> out(static_cast<size_t>(m * n));
+                  kernels::gemm(a.data(), b.data(), out.data(), m, n, k,
+                                false, false);
+                  if (c.rank() == 1) throw std::runtime_error("injected");
+                  c.barrier();  // strands rank 0 until the poison lands
+                }),
+      std::exception);
+  // The world is gone; a fresh threaded run must still be correct.
+  std::vector<float> c1(static_cast<size_t>(m * n));
+  {
+    ScopedEnv one("MLS_KERNEL_THREADS", "1");
+    kernels::gemm(a.data(), b.data(), c1.data(), m, n, k, false, false);
+  }
+  std::vector<float> again(static_cast<size_t>(m * n), -1.0f);
+  spmd::run(2, [&](comm::Comm& c) {
+    std::vector<float> out(static_cast<size_t>(m * n));
+    kernels::gemm(a.data(), b.data(), out.data(), m, n, k, false, false);
+    if (c.rank() == 0) again = out;
+  });
+  EXPECT_EQ(0, std::memcmp(c1.data(), again.data(), sizeof(float) * c1.size()));
+}
+
+TEST(KernelPool, NestedRanksTimesThreadsIsBitIdenticalWithPin) {
+  // t = 2 simulated ranks, 2 intra-op workers each, pinning on: each
+  // rank thread binds itself (spmd::run), owns its own pool, and the
+  // two pools' core slices partition the host instead of stacking.
+  // Must not deadlock and must match the serial result bitwise.
+  const int64_t m = 130, n = 97, k = 256;
+  const std::vector<float> a = random_vec(m * k, 97);
+  const std::vector<float> b = random_vec(k * n, 98);
+  std::vector<float> serial(static_cast<size_t>(m * n));
+  {
+    ScopedEnv env("MLS_KERNEL_THREADS", "1");
+    kernels::gemm(a.data(), b.data(), serial.data(), m, n, k, false, false);
+  }
+  ScopedEnv env("MLS_KERNEL_THREADS", "2");
+  ScopedEnv pin("MLS_KERNEL_PIN", "1");
+  std::vector<std::vector<float>> per_rank(2);
+  spmd::run(2, [&](comm::Comm& c) {
+    EXPECT_EQ(kernels::rank_binding().rank, c.rank());
+    EXPECT_EQ(kernels::rank_binding().world, 2);
+    std::vector<float> out(static_cast<size_t>(m * n), -1.0f);
+    kernels::gemm(a.data(), b.data(), out.data(), m, n, k, false, false);
+    c.barrier();
+    per_rank[static_cast<size_t>(c.rank())] = std::move(out);
+  });
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_EQ(0, std::memcmp(serial.data(),
+                             per_rank[static_cast<size_t>(r)].data(),
+                             sizeof(float) * serial.size()))
+        << "rank " << r;
+  }
+}
+
 // --------------------------------------------------- beta = 0 semantics
 
 TEST(KernelGemm, Beta0OverwritesPoisonedOutput) {
@@ -286,6 +461,72 @@ TEST(KernelFused, AutogradScaledSoftmaxMatchesComposedGraph) {
     EXPECT_TRUE(x1.grad().allclose(x2.grad(), 1e-5f, 1e-6f))
         << "causal=" << causal;
   }
+}
+
+TEST(KernelFused, FoldedTspInteriorsAreThreadCountInvariant) {
+  // The folded-TSP fused autograd nodes (bias_gelu_matmul,
+  // scaled_softmax_dropout_bmm) run their interiors through ops:: and
+  // therefore through the worker pool. Forward values and every grad
+  // must be bitwise identical at 1 vs 4 threads with pinning on —
+  // including the backward recompute-from-saved-x passes.
+  Rng rng(57);
+  const int64_t rows = 256, h = 128, out = 112;
+  Tensor xv = Tensor::randn(Shape{{rows, h}}, rng);
+  Tensor bv = Tensor::randn(Shape{{h}}, rng, 0.5f);
+  Tensor wv = Tensor::randn(Shape{{h, out}}, rng);
+  Tensor dy = Tensor::randn(Shape{{rows, out}}, rng);
+  const int64_t nbh = 8, sq = 64, sk = 64, d = 32;
+  Tensor sv = Tensor::randn(Shape{{nbh, sq, sk}}, rng);
+  Tensor vv = Tensor::randn(Shape{{nbh, sk, d}}, rng);
+  Tensor sdy = Tensor::randn(Shape{{nbh, sq, d}}, rng);
+  const auto map = ops::IndexMap::identity(sv.shape());
+
+  struct Run {
+    Tensor y, dx, dbias, dw, sy, dscores, dv;
+  };
+  auto run_once = [&]() {
+    Run r;
+    ag::Var x(xv.clone(), true);
+    ag::Var bias = ag::Var::param(bv.clone(), "bias");
+    ag::Var w = ag::Var::param(wv.clone(), "w");
+    ag::Var y = ag::bias_gelu_matmul(x, bias, w);
+    ag::backward(y, dy);
+    r.y = y.value();
+    r.dx = x.grad();
+    r.dbias = bias.grad();
+    r.dw = w.grad();
+    ag::Var scores(sv.clone(), true);
+    ag::Var v(vv.clone(), true);
+    ag::Var sy = ag::scaled_softmax_dropout_bmm(scores, v, 0.25f,
+                                                /*causal=*/true, 0.1f, 99,
+                                                map);
+    ag::backward(sy, sdy);
+    r.sy = sy.value();
+    r.dscores = scores.grad();
+    r.dv = v.grad();
+    return r;
+  };
+
+  Run one;
+  {
+    ScopedEnv env("MLS_KERNEL_THREADS", "1");
+    one = run_once();
+  }
+  ScopedEnv env("MLS_KERNEL_THREADS", "4");
+  ScopedEnv pin("MLS_KERNEL_PIN", "1");
+  const Run four = run_once();
+  auto same_bits = [](const Tensor& p, const Tensor& q) {
+    return p.numel() == q.numel() &&
+           std::memcmp(p.data(), q.data(),
+                       sizeof(float) * static_cast<size_t>(p.numel())) == 0;
+  };
+  EXPECT_TRUE(same_bits(one.y, four.y));
+  EXPECT_TRUE(same_bits(one.dx, four.dx));
+  EXPECT_TRUE(same_bits(one.dbias, four.dbias));
+  EXPECT_TRUE(same_bits(one.dw, four.dw));
+  EXPECT_TRUE(same_bits(one.sy, four.sy));
+  EXPECT_TRUE(same_bits(one.dscores, four.dscores));
+  EXPECT_TRUE(same_bits(one.dv, four.dv));
 }
 
 // ------------------------------------------------- layout fast paths
