@@ -11,9 +11,11 @@
 //                            reserved peak and fragmentation are no
 //                            worse than the naive baseline and that
 //                            both emit identical tokens; writes
-//                            BENCH_serve.json; exit 0/1
+//                            build/BENCH_serve.json; exit 0/1
 //   bench_serve --json[=p]   full run, reports written to p as JSON
-//                            (default BENCH_serve.json)
+//                            (default build/BENCH_serve.json; the
+//                            tracked baseline at the repo root is
+//                            refreshed with --json=BENCH_serve.json)
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -192,7 +194,7 @@ int run_full(bool json, const std::string& json_path) {
 
 int main(int argc, char** argv) {
   bool smoke = false, json = false;
-  std::string json_path = "BENCH_serve.json";
+  std::string json_path = "build/BENCH_serve.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {

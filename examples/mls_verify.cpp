@@ -29,6 +29,7 @@
 
 #include "analysis/ledger.h"
 #include "analysis/static/budget.h"
+#include "core/env.h"
 #include "analysis/static/trace_pipeline.h"
 #include "analysis/static/trace_serve.h"
 #include "analysis/static/verify.h"
@@ -272,6 +273,17 @@ int run_single() {
             << r.budget.model_state_bytes << " B model state, "
             << r.budget.kv_bytes_per_token << " KV B/token, "
             << r.budget.train_wire_bytes << " wire B/iter\n";
+  // Pressure plane: with MLS_MEM_BUDGET_BYTES set, predict offline
+  // whether this config trips the watermarks and where the escalation
+  // governor would settle.
+  const int64_t mem_budget =
+      mls::core::Env::integer("MLS_MEM_BUDGET_BYTES", -1);
+  if (mem_budget > 0) {
+    const auto forecast = mls::verify::forecast_pressure(
+        cfg, mem_budget, mls::core::Env::real("MLS_MEM_SOFT_PCT", 0.80),
+        mls::core::Env::real("MLS_MEM_HARD_PCT", 0.95));
+    std::cout << "  " << forecast.text() << "\n";
+  }
   for (const Violation& v : r.violations) {
     std::cout << "  [" << v.check << "] " << v.message << "\n";
   }
@@ -310,7 +322,10 @@ int run_demo_failure() {
 int main(int argc, char** argv) {
   bool all = false;
   bool demo_failure = false;
-  std::string report_path = "mls_verify_report.json";
+  // Default under build/ so routine runs never litter the repo root;
+  // the tracked baseline at the root is regenerated with an explicit
+  // --report=mls_verify_report.json.
+  std::string report_path = "build/mls_verify_report.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--all") {

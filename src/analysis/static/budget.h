@@ -37,4 +37,31 @@ std::vector<Violation> check_budget_claim(const model::ModelConfig& cfg,
                                           double claimed_bytes_per_layer,
                                           const std::string& claim_site);
 
+// Pressure-plane forecast (DESIGN.md §14): given the MLS_MEM_* budget
+// and watermarks, predict offline whether this config can trip them —
+// and which rung of the recompute ladder the escalation governor would
+// have to reach. Resident bytes per rung = model state + first-stage
+// activation total with cfg.recompute overridden to that rung; the
+// same §4 formulas the runtime MemoryTracker matches byte-exactly, so
+// "can_trip_soft == false" is a static proof the governor stays idle.
+struct PressureForecast {
+  int64_t budget_bytes = 0;
+  double soft_bytes = 0;
+  double hard_bytes = 0;
+  // Indexed by the ladder: [0]=none, [1]=selective, [2]=full.
+  double resident_bytes[3] = {0, 0, 0};
+  int configured_rung = 0;      // cfg.recompute as a ladder index
+  bool can_trip_soft = false;   // configured rung's residency >= soft
+  bool can_trip_hard = false;   // configured rung's residency >= hard
+  int floor_rung = -1;          // lowest rung under soft; -1: none fits
+  bool fits_at_full = false;    // full recompute stays under hard
+
+  std::string text() const;  // mls_verify's human block
+};
+
+PressureForecast forecast_pressure(const model::ModelConfig& cfg,
+                                   int64_t budget_bytes,
+                                   double soft_pct = 0.80,
+                                   double hard_pct = 0.95);
+
 }  // namespace mls::verify

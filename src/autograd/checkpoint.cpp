@@ -68,7 +68,18 @@ class CheckpointNode : public Node {
           is_param_[i] ? Var::param(saved_[i].get())
                        : Var(saved_[i].get(), /*requires_grad=*/true));
     }
-    replayed_out_ = fn_(replayed_leaves_);
+    // The replay allocates the region's transient spike: under a byte
+    // budget fn_ can raise MemoryPressureError mid-subgraph. Clear the
+    // half-built replay state before the error escapes — the node stays
+    // consistent (replayed_out_ undefined), so a recovered run that
+    // reaches backward() again simply replays from scratch.
+    try {
+      replayed_out_ = fn_(replayed_leaves_);
+    } catch (...) {
+      replayed_leaves_.clear();
+      replayed_out_ = Var();
+      throw;
+    }
   }
 
   CheckpointFn fn_;

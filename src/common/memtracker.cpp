@@ -79,6 +79,7 @@ void MemoryTracker::update_peak() {
 void MemoryTracker::reset() {
   current_major_ = current_minor_ = peak_ = extra_ = 0;
   kv_ = kv_peak_ = 0;
+  pressure_soft_ = pressure_hard_ = shed_ = timeout_ = 0;
   by_tag_.clear();
   scopes_.clear();
 }

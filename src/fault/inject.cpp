@@ -239,6 +239,30 @@ void on_io_slow(int world_rank, const char* what) {
   op_hook(*inj, world_rank, t_step, what);
 }
 
+bool on_oom_slow(const char* what) {
+  auto inj = current_injector();
+  if (!inj) return false;
+  bool fired = false;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    for (size_t i = 0; i < inj->plan.events.size(); ++i) {
+      auto& e = inj->plan.events[i];
+      if (inj->spent[i] || e.kind != FaultKind::kOom) continue;
+      if (!context_matches(e, t_rank, t_step, what)) continue;
+      if (inj->fails_left[i] <= 0) continue;
+      --inj->fails_left[i];
+      if (inj->fails_left[i] == 0) inj->spent[i] = true;
+      fired = true;
+      break;
+    }
+  }
+  if (fired) {
+    std::fprintf(stderr, "[fault] injected oom: %s\n",
+                 describe(t_rank, t_step, what).c_str());
+  }
+  return fired;
+}
+
 void on_shard_committed_slow(int world_rank, int64_t gen, const char* path) {
   auto inj = current_injector();
   if (!inj) return;

@@ -29,6 +29,11 @@
 //                 the generation commit (shard durable, manifest not
 //                 yet published — so the barriers order the damage
 //                 before any rank moves on); one-shot.
+//  * oom        — on_oom(site) reports true `fails` times (default 1);
+//                 the caller degrades: the pool allocator raises its
+//                 structured MemoryPressureError, the paged KV cache
+//                 fails one block reservation (the scheduler preempts),
+//                 the PressureMonitor forces its sampled level.
 #pragma once
 
 #include <atomic>
@@ -44,6 +49,7 @@ void on_step_slow(int world_rank, int64_t step);
 void on_comm_slow(const char* what);
 void on_io_slow(int world_rank, const char* what);
 void on_shard_committed_slow(int world_rank, int64_t gen, const char* path);
+bool on_oom_slow(const char* what);
 }  // namespace detail
 
 // True while a plan is armed. The inline fast path of every hook.
@@ -104,6 +110,13 @@ inline void on_io(int world_rank, const char* what) {
 // damage the shard at `path`.
 inline void on_shard_committed(int world_rank, int64_t gen, const char* path) {
   if (armed()) detail::on_shard_committed_slow(world_rank, gen, path);
+}
+// Memory-pressure sites ("alloc", "kv.block", "pressure.soft",
+// "pressure.hard"): returns true when a matching oom event fires, and
+// the caller simulates the failure. Unlike the hooks above this one
+// never throws — every degradation is the caller's to stage.
+inline bool on_oom(const char* what) {
+  return armed() && detail::on_oom_slow(what);
 }
 
 }  // namespace mls::fault

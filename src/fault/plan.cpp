@@ -17,6 +17,8 @@ const char* fault_kind_name(FaultKind k) {
       return "stall";
     case FaultKind::kCorrupt:
       return "corrupt";
+    case FaultKind::kOom:
+      return "oom";
   }
   return "?";
 }
@@ -32,6 +34,7 @@ std::string FaultEvent::str() const {
   if (step >= 0) os << ":step=" << step;
   if (!site.empty()) os << ":site=" << site;
   if (kind == FaultKind::kTransient) os << ":fails=" << fails;
+  if (kind == FaultKind::kOom && fails != 1) os << ":fails=" << fails;
   if (kind == FaultKind::kStall) os << ":sec=" << stall_sec;
   if (kind == FaultKind::kCorrupt && gen >= 0) os << ":gen=" << gen;
   return os.str();
@@ -103,6 +106,8 @@ FaultEvent parse_event(const std::string& spec) {
     e.kind = FaultKind::kStall;
   } else if (head[0] == "corrupt") {
     e.kind = FaultKind::kCorrupt;
+  } else if (head[0] == "oom") {
+    e.kind = FaultKind::kOom;
   } else {
     MLS_CHECK(false) << "fault plan: unknown kind '" << head[0] << "' in '"
                      << spec << "'";
@@ -192,6 +197,17 @@ FaultPlan FaultPlan::chaos(uint64_t seed, int world_size, int64_t steps) {
     c.gen = static_cast<int64_t>(
         rng.next_below(static_cast<uint64_t>(crash.step)));
     plan.events.push_back(c);
+  }
+  // An allocation-site OOM: one pool acquisition surfaces the
+  // structured MemoryPressureError mid-step; recovery is the same
+  // restore-and-replay path as a crash, so the budget above still holds.
+  if (rng.next_uniform() < 0.4) {
+    FaultEvent o;
+    o.kind = FaultKind::kOom;
+    o.rank = any_rank();
+    o.step = any_step();
+    o.site = "alloc";
+    plan.events.push_back(o);
   }
   return plan;
 }

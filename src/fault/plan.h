@@ -13,14 +13,22 @@
 //
 // Spec grammar (MLS_FAULT_PLAN): semicolon-separated events,
 //   <kind>@r<rank>[:key=value]...
-// where kind ∈ {crash, transient, stall, corrupt} and rank is a world
-// rank or `*` for any. Keys: step=<n> (trainer step gate, default any),
-// site=<substr> (matched against the op name and the SiteGuard tag),
-// fails=<n> (transient failure count), sec=<x> (stall duration),
-// gen=<n> (checkpoint generation to corrupt). Examples:
+// where kind ∈ {crash, transient, stall, corrupt, oom} and rank is a
+// world rank or `*` for any. Keys: step=<n> (trainer step gate, default
+// any), site=<substr> (matched against the op name and the SiteGuard
+// tag), fails=<n> (transient/oom failure count), sec=<x> (stall
+// duration), gen=<n> (checkpoint generation to corrupt). Examples:
 //   crash@r1:step=2
 //   transient@r0:site=trainer.grad_norm:fails=2
 //   stall@r3:step=1:sec=1.5;corrupt@r2:gen=4
+//   oom@r*:site=pressure.soft:fails=8
+//
+// oom events fire at the allocator hooks (fault::on_oom): site "alloc"
+// fails a pool acquisition with a structured MemoryPressureError, site
+// "kv.block" exhausts the paged KV pool for one reservation, and sites
+// "pressure.soft"/"pressure.hard" force the PressureMonitor's sampled
+// level — each fires `fails` times (default 1), so `fails=N` simulates
+// N steps of sustained pressure.
 #pragma once
 
 #include <cstdint>
@@ -29,7 +37,7 @@
 
 namespace mls::fault {
 
-enum class FaultKind : uint8_t { kCrash, kTransient, kStall, kCorrupt };
+enum class FaultKind : uint8_t { kCrash, kTransient, kStall, kCorrupt, kOom };
 
 const char* fault_kind_name(FaultKind k);
 
@@ -38,7 +46,7 @@ struct FaultEvent {
   int rank = -1;         // world rank targeted; -1 = any rank
   int64_t step = -1;     // trainer step gate; -1 = any step
   std::string site;      // substring match vs op name / SiteGuard tag; "" = any
-  int fails = 1;         // transient: injected failures before success
+  int fails = 1;         // transient/oom: injected failures before success
   double stall_sec = 0;  // stall: injected delay in seconds
   int64_t gen = -1;      // corrupt: checkpoint generation; -1 = any
 

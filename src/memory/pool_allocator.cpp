@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/units.h"
 #include "core/env.h"
+#include "fault/inject.h"
 
 namespace mls::memory {
 
@@ -31,6 +32,10 @@ std::string AllocStats::report(const std::string& name) const {
   os << "  largest-free-block "
      << format_bytes(static_cast<double>(largest_free_block))
      << " | fragmentation " << pct;
+  if (budget_bytes >= 0) {
+    os << "\n  budget " << format_bytes(static_cast<double>(budget_bytes))
+       << " | oom-trims " << oom_trims << " | oom-failures " << oom_failures;
+  }
   return os.str();
 }
 
@@ -46,6 +51,8 @@ std::string AllocStats::json() const {
      << ",\"physical_bytes\":" << physical_bytes
      << ",\"physical_peak\":" << physical_peak << ",\"segments\":" << segments
      << ",\"largest_free_block\":" << largest_free_block
+     << ",\"budget_bytes\":" << budget_bytes << ",\"oom_trims\":" << oom_trims
+     << ",\"oom_failures\":" << oom_failures
      << ",\"hit_rate\":" << hit_rate()
      << ",\"fragmentation\":" << fragmentation() << "}";
   return os.str();
@@ -63,6 +70,8 @@ PoolAllocator::Config PoolAllocator::Config::from_env() {
       std::max(cfg.small_limit,
                core::Env::integer("MLS_ALLOC_SMALL_SEGMENT", cfg.small_segment));
   cfg.max_cached = core::Env::integer("MLS_ALLOC_MAX_CACHED", cfg.max_cached);
+  cfg.budget_bytes =
+      core::Env::integer("MLS_MEM_BUDGET_BYTES", cfg.budget_bytes);
   cfg.report_at_exit = core::Env::flag("MLS_ALLOC_STATS", false);
   return cfg;
 }
@@ -99,7 +108,9 @@ ArenaGuard::ArenaGuard(std::shared_ptr<PoolAllocator> arena)
 ArenaGuard::~ArenaGuard() { t_arena_override = std::move(prev_); }
 
 PoolAllocator::PoolAllocator(Config cfg, std::string name)
-    : cfg_(cfg), name_(std::move(name)), owner_(std::this_thread::get_id()) {}
+    : cfg_(cfg), name_(std::move(name)), owner_(std::this_thread::get_id()) {
+  stats_.budget_bytes = cfg_.budget_bytes;
+}
 
 PoolAllocator::~PoolAllocator() {
   // No allocation can race this: every Storage holds a shared_ptr to
@@ -164,12 +175,56 @@ PoolAllocator::Block* PoolAllocator::split_locked(Block* b, int64_t want) {
   return b;
 }
 
+AllocStats PoolAllocator::snapshot_locked() const {
+  AllocStats s = stats_;
+  s.segments = static_cast<int64_t>(segments_.size()) +
+               static_cast<int64_t>(passthrough_sizes_.size());
+  s.largest_free_block =
+      free_blocks_.empty() ? 0 : (*free_blocks_.rbegin())->size;
+  return s;
+}
+
+void PoolAllocator::ensure_budget_locked(int64_t seg_size, int64_t requested,
+                                         bool forced) {
+  const bool budgeted = cfg_.budget_bytes >= 0;
+  if (!forced) {
+    if (!budgeted) return;
+    if (stats_.physical_bytes + seg_size <= cfg_.budget_bytes) return;
+  }
+  // First response to pressure: give cached-but-idle segments back to
+  // the system and re-check — the CUDA allocator's
+  // cudaMalloc-failed-then-emptyCache retry.
+  trim_locked();
+  ++stats_.oom_trims;
+  if (!forced && stats_.physical_bytes + seg_size <= cfg_.budget_bytes) {
+    return;
+  }
+  ++stats_.oom_failures;
+  const AllocStats snap = snapshot_locked();
+  std::ostringstream os;
+  os << "memory pressure in pool " << name_ << ": "
+     << (forced ? "injected oom at" : "segment of") << " " << seg_size
+     << " bytes (request " << requested << " B) "
+     << (forced ? "" : "exceeds budget ") << "";
+  if (budgeted) os << cfg_.budget_bytes << " B budget, ";
+  os << "after trim: in-use " << snap.bytes_in_use << " B, cached "
+     << snap.bytes_cached << " B, physical " << snap.physical_bytes
+     << " B across " << snap.segments << " segments, fragmentation "
+     << static_cast<int>(snap.fragmentation() * 100.0) << "%";
+  throw MemoryPressureError(os.str(), requested, snap);
+}
+
 float* PoolAllocator::allocate_locked(int64_t bytes) {
   ++stats_.allocs;
+  // Deterministic chaos: an armed `oom` fault at an allocation site
+  // fails this acquisition exactly as a budget overrun would — same
+  // trim attempt, same structured error.
+  const bool injected = fault::on_oom("alloc");
   if (!cfg_.enabled) {
     // Passthrough mode: a system allocation per buffer, exactly what
     // the pre-pool code paid. Counted so benches can print the delta.
     const int64_t sz = std::max<int64_t>(bytes, 4);
+    ensure_budget_locked(sz, bytes, injected);
     auto* p = static_cast<float*>(std::malloc(static_cast<size_t>(sz)));
     MLS_CHECK(p != nullptr) << "malloc of " << sz << " bytes failed";
     passthrough_sizes_.emplace(p, sz);
@@ -181,6 +236,10 @@ float* PoolAllocator::allocate_locked(int64_t bytes) {
   }
 
   const int64_t want = rounded(bytes);
+  // An injected fault fails the request even when the cache could have
+  // served it: chaos timing must not depend on what happens to be
+  // cached, or the same seed would fire at different sites across runs.
+  if (injected) ensure_budget_locked(want, bytes, /*forced=*/true);
   Block key;
   key.size = want;
   key.ptr = nullptr;
@@ -194,8 +253,15 @@ float* PoolAllocator::allocate_locked(int64_t bytes) {
   } else {
     // Miss: obtain a segment. Small requests share pre-sized slabs so
     // one system allocation serves many buffers.
-    const int64_t seg_size =
+    int64_t seg_size =
         want <= cfg_.small_limit ? std::max(cfg_.small_segment, want) : want;
+    // Under a budget, a full slab is a luxury: degrade to an exact-fit
+    // segment before declaring pressure.
+    if (cfg_.budget_bytes >= 0 && seg_size > want &&
+        stats_.physical_bytes + seg_size > cfg_.budget_bytes) {
+      seg_size = want;
+    }
+    ensure_budget_locked(seg_size, bytes, /*forced=*/false);
     void* base = std::malloc(static_cast<size_t>(seg_size));
     MLS_CHECK(base != nullptr) << "segment malloc of " << seg_size
                                << " bytes failed (pool " << name_ << ")";

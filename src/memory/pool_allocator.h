@@ -42,6 +42,11 @@
 //   MLS_ALLOC_MAX_CACHED      cached-bytes cap; exceeding it releases
 //                             fully-free segments (default: unlimited)
 //   MLS_ALLOC_STATS=1         print the stats report at arena teardown
+//   MLS_MEM_BUDGET_BYTES      per-rank physical budget; a segment
+//                             acquisition that would exceed it first
+//                             trims cached segments and retries, then
+//                             throws MemoryPressureError (default: -1,
+//                             unlimited — the pre-pressure behaviour)
 #pragma once
 
 #include <cstdint>
@@ -52,6 +57,8 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "common/check.h"
 
 namespace mls::memory {
 
@@ -70,6 +77,9 @@ struct AllocStats {
   int64_t physical_peak = 0;      // high-water mark of physical_bytes
   int64_t segments = 0;           // live system allocations (count)
   int64_t largest_free_block = 0; // fragmentation indicator
+  int64_t budget_bytes = -1;      // physical budget (< 0: unlimited)
+  int64_t oom_trims = 0;          // budget misses answered by a trim
+  int64_t oom_failures = 0;       // MemoryPressureErrors surfaced
 
   double hit_rate() const {
     const int64_t n = pool_hits + pool_misses;
@@ -88,6 +98,25 @@ struct AllocStats {
   std::string json() const;
 };
 
+// The allocator's structured failure: a segment acquisition exceeded
+// the configured physical budget (or an injected `oom` fault fired)
+// and trimming the cached segments did not make room. Carries the
+// requested size and the arena snapshot at the moment of failure so
+// the consumer — recompute governor, serve scheduler, test — can act
+// on live/cached/fragmentation numbers instead of parsing a message.
+class MemoryPressureError : public Error {
+ public:
+  MemoryPressureError(const std::string& msg, int64_t requested_bytes,
+                      AllocStats snapshot)
+      : Error(msg), requested_bytes_(requested_bytes), stats_(snapshot) {}
+  int64_t requested_bytes() const { return requested_bytes_; }
+  const AllocStats& stats() const { return stats_; }
+
+ private:
+  int64_t requested_bytes_;
+  AllocStats stats_;
+};
+
 class PoolAllocator {
  public:
   struct Config {
@@ -96,6 +125,7 @@ class PoolAllocator {
     int64_t small_limit = 1 << 20;    // 1 MiB
     int64_t small_segment = 8 << 20;  // 8 MiB
     int64_t max_cached = -1;          // < 0: unlimited
+    int64_t budget_bytes = -1;        // < 0: unlimited (MLS_MEM_BUDGET_BYTES)
     bool report_at_exit = false;
     static Config from_env();
   };
@@ -159,6 +189,12 @@ class PoolAllocator {
   };
 
   int64_t rounded(int64_t bytes) const;
+  // Budget gate before a segment acquisition of seg_size bytes: trims
+  // cached segments and re-checks; throws MemoryPressureError (with the
+  // post-trim snapshot) if the budget still cannot cover it. `forced`
+  // marks an injected fault: trim, then fail unconditionally.
+  void ensure_budget_locked(int64_t seg_size, int64_t requested, bool forced);
+  AllocStats snapshot_locked() const;
   float* allocate_locked(int64_t bytes);
   void free_ptr_locked(float* p, bool cross_thread);
   void drain_pending_locked();

@@ -72,6 +72,13 @@ class PipelineEngine {
   model::GPTModel& chunk_model(int c) { return *chunks_[static_cast<size_t>(c)]; }
   int num_chunks() const { return static_cast<int>(chunks_.size()); }
 
+  // Memory-pressure plane: the recompute-escalation governor switches
+  // the checkpoint Technique between iterations — never mid-schedule,
+  // so every microbatch of one iteration runs one rung. Checkpoint
+  // replay is bit-exact, so this changes memory/time, not the loss.
+  void set_recompute(core::Recompute rc) { cfg_.recompute = rc; }
+  core::Recompute recompute() const { return cfg_.recompute; }
+
  private:
   int virtual_stage(int chunk) const { return chunk * cfg_.p + pp_.rank(); }
   int rank_of_stage(int v) const { return v % cfg_.p; }

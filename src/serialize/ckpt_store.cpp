@@ -123,6 +123,19 @@ int64_t CheckpointStore::restore_latest(comm::Comm& world,
     out = load_tensors(shard_path(*it, world.rank()));
     return *it;
   }
+  if (!gens.empty()) {
+    // Committed work exists but none of it is loadable. Every rank ran
+    // the same agreement rounds, so every rank throws here together —
+    // a structured failure the operator can act on, not a silent
+    // restart from step 0.
+    std::ostringstream os;
+    os << "checkpoint restore failed: all " << gens.size()
+       << " committed generation(s) in " << dir_
+       << " failed CRC verification on at least one rank (newest bad: "
+       << "generation " << gens.back() << ")";
+    throw RestoreError(os.str(), gens.back(),
+                       static_cast<int64_t>(gens.size()));
+  }
   return -1;
 }
 

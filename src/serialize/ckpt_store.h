@@ -21,9 +21,31 @@
 #include <vector>
 
 #include "comm/comm.h"
+#include "common/check.h"
 #include "serialize/checkpoint_io.h"
 
 namespace mls::serialize {
+
+// Every committed generation failed CRC verification on some rank: the
+// store is not empty (that is a fresh start, restore_latest returns -1)
+// but nothing in it is loadable — silent reinitialization here would
+// throw away training the caller believes is checkpointed. Thrown on
+// every rank together (verification is agreement-synchronized), naming
+// the newest generation that failed.
+class RestoreError : public Error {
+ public:
+  RestoreError(const std::string& msg, int64_t newest_bad_gen,
+               int64_t generations_tried)
+      : Error(msg),
+        newest_bad_gen_(newest_bad_gen),
+        generations_tried_(generations_tried) {}
+  int64_t newest_bad_gen() const { return newest_bad_gen_; }
+  int64_t generations_tried() const { return generations_tried_; }
+
+ private:
+  int64_t newest_bad_gen_;
+  int64_t generations_tried_;
+};
 
 class CheckpointStore {
  public:
@@ -54,7 +76,10 @@ class CheckpointStore {
   // Collective: loads the newest generation that verifies on *every*
   // rank into `out`, falling back a generation (all ranks together)
   // whenever any rank's shard is corrupt. Returns the restored
-  // generation, or -1 when none survives (out left empty).
+  // generation, or -1 when the store has no committed generations at
+  // all (a genuine fresh start, out left empty). Generations existed
+  // but every one failed verification → throws RestoreError on every
+  // rank.
   int64_t restore_latest(comm::Comm& world, NamedTensors& out) const;
 
  private:

@@ -14,6 +14,11 @@ ServeConfig ServeConfig::from_env() {
   cfg.max_batch = core::Env::integer("MLS_SERVE_MAX_BATCH", cfg.max_batch);
   cfg.paged = core::Env::flag("MLS_SERVE_PAGED", cfg.paged);
   cfg.overlap = core::Env::flag("MLS_SERVE_OVERLAP", cfg.overlap);
+  cfg.soft_pct = core::Env::real("MLS_MEM_SOFT_PCT", cfg.soft_pct);
+  cfg.hard_pct = core::Env::real("MLS_MEM_HARD_PCT", cfg.hard_pct);
+  cfg.max_queue = core::Env::integer("MLS_SERVE_MAX_QUEUE", cfg.max_queue);
+  cfg.mem_budget_bytes =
+      core::Env::integer("MLS_MEM_BUDGET_BYTES", cfg.mem_budget_bytes);
   cfg.validate();
   return cfg;
 }
@@ -23,6 +28,9 @@ void ServeConfig::validate() const {
   MLS_CHECK_GE(kv_budget_tokens, block_tokens)
       << "KV budget smaller than one block";
   MLS_CHECK_GT(max_batch, 0);
+  MLS_CHECK(soft_pct > 0 && soft_pct <= hard_pct && hard_pct <= 1.0)
+      << "watermarks must order 0 < soft <= hard <= 1 (soft=" << soft_pct
+      << " hard=" << hard_pct << ")";
 }
 
 }  // namespace mls::serve

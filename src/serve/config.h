@@ -29,6 +29,22 @@ struct ServeConfig {
   // few-core hosts the split-batch launches and ring rendezvous cost
   // more than the hidden latency (bench_serve t2/overlap vs t2/serial).
   bool overlap = false;  // MLS_SERVE_OVERLAP
+  // ---- memory-pressure plane (DESIGN.md §14) -----------------------
+  // KV-occupancy watermarks (fraction of the pool reserved). At or
+  // above soft, admission pauses (queued requests wait); above hard,
+  // the scheduler preempts latest-admitted until back under. Defaults
+  // of 1.0 leave both off — the pre-pressure-plane behavior.
+  double soft_pct = 1.0;  // MLS_MEM_SOFT_PCT
+  double hard_pct = 1.0;  // MLS_MEM_HARD_PCT
+  // Deterministic load shedding: queued requests beyond this depth are
+  // retired newest-first as kShed instead of waiting forever. < 0 (the
+  // default) leaves the queue unbounded.
+  int64_t max_queue = -1;  // MLS_SERVE_MAX_QUEUE
+  // Byte ceiling for the KV pool: when set, the effective token budget
+  // is clamped so the pool's logical KV bytes can never exceed it
+  // (floored at one block). The same knob that budgets the training
+  // arena.
+  int64_t mem_budget_bytes = -1;  // MLS_MEM_BUDGET_BYTES
 
   static ServeConfig from_env();
   void validate() const;

@@ -6,6 +6,8 @@
 #include "common/check.h"
 #include "common/memtracker.h"
 #include "common/shape.h"
+#include "fault/inject.h"
+#include "memory/pool_allocator.h"
 
 namespace mls::serve {
 
@@ -78,18 +80,35 @@ class PagedKVCache final : public KVCache {
 
   const KVStats& stats() const override { return stats_; }
 
+  double occupancy() const override {
+    return 1.0 - static_cast<double>(stats_.blocks_free) /
+                     static_cast<double>(capacity_blocks_);
+  }
+
   // Attaches a free block (lazily materializing its Tensor on first
   // use); -1 when the pool is exhausted.
   int64_t acquire_block() {
+    // Injected oom ("kv.block") and a genuinely over-budget arena both
+    // land on the same failure edge the scheduler already survives:
+    // reserve() returns false and the latest sequence is preempted.
+    if (fault::on_oom("kv.block")) {
+      ++stats_.reserve_failures;
+      return -1;
+    }
     int64_t id = -1;
     if (!free_list_.empty()) {
       id = free_list_.back();
       free_list_.pop_back();
     } else if (static_cast<int64_t>(blocks_.size()) < capacity_blocks_) {
       id = static_cast<int64_t>(blocks_.size());
-      blocks_.push_back(Tensor::empty(
-          Shape{{layout_.layers, 2, layout_.heads_local, layout_.block_tokens,
-                 layout_.d}}));
+      try {
+        blocks_.push_back(Tensor::empty(
+            Shape{{layout_.layers, 2, layout_.heads_local,
+                   layout_.block_tokens, layout_.d}}));
+      } catch (const memory::MemoryPressureError&) {
+        ++stats_.reserve_failures;
+        return -1;
+      }
     } else {
       ++stats_.reserve_failures;
       return -1;
@@ -217,6 +236,11 @@ class NaiveKVCache final : public KVCache {
   }
   bool can_admit(int64_t total_tokens) const override {
     return reserved_tokens_ + total_tokens <= budget_tokens_;
+  }
+  double occupancy() const override {
+    return budget_tokens_ == 0 ? 0.0
+                               : static_cast<double>(reserved_tokens_) /
+                                     static_cast<double>(budget_tokens_);
   }
   std::unique_ptr<SequenceKV> create(int64_t total_tokens) override {
     return std::make_unique<NaiveSequenceKV>(this, total_tokens);

@@ -114,6 +114,11 @@ class KVCache {
   // Creates a sequence handle; call only after can_admit. `total_tokens`
   // is the worst-case cached-position count for the request.
   virtual std::unique_ptr<SequenceKV> create(int64_t total_tokens) = 0;
+  // Fraction of the budget currently reserved by live sequences, in
+  // [0, 1] — the signal the scheduler's soft/hard watermarks classify.
+  // Paged: attached blocks / pool capacity; naive: reserved tokens /
+  // budget tokens.
+  virtual double occupancy() const = 0;
   virtual const KVStats& stats() const = 0;
   const KVLayout& layout() const { return layout_; }
 

@@ -21,16 +21,24 @@ double percentile(std::vector<double> samples, double p) {
 ServeReport ServeReport::build(const std::string& label,
                                const std::vector<Completion>& completions,
                                const SchedStats& sched, const KVStats& kv,
-                               const memory::AllocStats& arena,
-                               double wall_s) {
+                               const memory::AllocStats& arena, double wall_s,
+                               const ServeConfig* cfg) {
   ServeReport r;
   r.label = label;
   r.requests = static_cast<int64_t>(completions.size());
   r.completed = sched.completed;
   r.overflowed = sched.overflowed;
   r.rejected = sched.rejected;
+  r.timed_out = sched.timed_out;
+  r.shed = sched.shed;
   r.steps = sched.steps;
   r.preemptions = sched.preemptions;
+  r.pressure_preemptions = sched.pressure_preemptions;
+  r.throttled_steps = sched.throttled_steps;
+  if (cfg != nullptr) {
+    r.kv_budget_tokens = cfg->kv_budget_tokens;
+    r.mem_budget_bytes = cfg->mem_budget_bytes;
+  }
   r.wall_s = wall_s;
   r.tokens_generated = sched.tokens_generated;
   r.rows_processed = sched.rows_processed;
@@ -87,6 +95,16 @@ std::string ServeReport::text() const {
                 static_cast<long long>(rejected),
                 static_cast<long long>(steps), wall_s);
   os << buf;
+  if (timed_out + shed + throttled_steps + pressure_preemptions > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  pressure: %lld timed out, %lld shed, %lld throttled "
+                  "steps, %lld watermark preemptions\n",
+                  static_cast<long long>(timed_out),
+                  static_cast<long long>(shed),
+                  static_cast<long long>(throttled_steps),
+                  static_cast<long long>(pressure_preemptions));
+    os << buf;
+  }
   std::snprintf(buf, sizeof(buf),
                 "  throughput: %.0f gen tok/s (%.0f incl. prefill), batch "
                 "mean %.1f max %lld, %lld preemptions\n",
@@ -121,8 +139,14 @@ std::string ServeReport::json() const {
   std::ostringstream os;
   os << "{\"label\":\"" << label << "\",\"requests\":" << requests
      << ",\"completed\":" << completed << ",\"overflowed\":" << overflowed
-     << ",\"rejected\":" << rejected << ",\"steps\":" << steps
-     << ",\"preemptions\":" << preemptions << ",\"wall_s\":" << wall_s
+     << ",\"rejected\":" << rejected << ",\"timed_out\":" << timed_out
+     << ",\"shed\":" << shed << ",\"steps\":" << steps
+     << ",\"preemptions\":" << preemptions
+     << ",\"pressure_preemptions\":" << pressure_preemptions
+     << ",\"throttled_steps\":" << throttled_steps
+     << ",\"kv_budget_tokens\":" << kv_budget_tokens
+     << ",\"mem_budget_bytes\":" << mem_budget_bytes
+     << ",\"wall_s\":" << wall_s
      << ",\"tokens_generated\":" << tokens_generated
      << ",\"rows_processed\":" << rows_processed
      << ",\"gen_tokens_per_s\":" << gen_tokens_per_s

@@ -22,8 +22,12 @@ struct ServeReport {
   int64_t completed = 0;
   int64_t overflowed = 0;
   int64_t rejected = 0;
+  int64_t timed_out = 0;
+  int64_t shed = 0;
   int64_t steps = 0;
   int64_t preemptions = 0;
+  int64_t pressure_preemptions = 0;
+  int64_t throttled_steps = 0;
   double wall_s = 0;
   // Throughput.
   int64_t tokens_generated = 0;
@@ -42,15 +46,23 @@ struct ServeReport {
   double kv_waste_mean = 0;            // mean over steps
   double kv_waste_final = 0;
   int64_t kv_reserve_failures = 0;
+  // Pressure-plane sizing (from the ServeConfig when given to build):
+  // the effective token budget after the MLS_MEM_BUDGET_BYTES clamp,
+  // and the byte ceiling itself (-1 when unset).
+  int64_t kv_budget_tokens = 0;
+  int64_t mem_budget_bytes = -1;
   // Rank arena (physical axis) at the end of the run.
   memory::AllocStats arena;
 
   // Aggregate from a finished run. `wall_s` is the driver-measured
-  // wall time of the serving loop on this rank.
+  // wall time of the serving loop on this rank. `cfg` (optional) fills
+  // the budget fields — pass scheduler.config() so the report shows the
+  // post-clamp effective values.
   static ServeReport build(const std::string& label,
                            const std::vector<Completion>& completions,
                            const SchedStats& sched, const KVStats& kv,
-                           const memory::AllocStats& arena, double wall_s);
+                           const memory::AllocStats& arena, double wall_s,
+                           const ServeConfig* cfg = nullptr);
 
   std::string text() const;  // human table (README's sample report)
   std::string json() const;  // one JSON object, no trailing newline

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/memtracker.h"
+
 namespace mls::serve {
 
 namespace {
@@ -24,6 +26,23 @@ KVLayout cache_layout(const model::ModelConfig& cfg, int tp_size,
   return lo;
 }
 
+// MLS_MEM_BUDGET_BYTES caps the pool at construction: the token budget
+// is clamped so the cache's logical KV bytes can never exceed the byte
+// ceiling (floored at one block — a pool that can hold nothing would
+// reject everything). This is how "driven past the KV budget" stays a
+// scheduling problem (throttle, preempt, shed) instead of an
+// allocation failure.
+ServeConfig clamp_to_budget(ServeConfig cfg, const model::GPTModel& model) {
+  if (cfg.mem_budget_bytes >= 0) {
+    const KVLayout lo = cache_layout(model.config(), model.env().tp_size(),
+                                     cfg.block_tokens);
+    const int64_t cap = std::max(
+        cfg.mem_budget_bytes / lo.logical_bytes_per_token(), cfg.block_tokens);
+    cfg.kv_budget_tokens = std::min(cfg.kv_budget_tokens, cap);
+  }
+  return cfg;
+}
+
 }  // namespace
 
 const char* finish_reason_name(FinishReason r) {
@@ -31,6 +50,8 @@ const char* finish_reason_name(FinishReason r) {
     case FinishReason::kCompleted: return "completed";
     case FinishReason::kContextOverflow: return "context_overflow";
     case FinishReason::kRejected: return "rejected";
+    case FinishReason::kTimedOut: return "timed_out";
+    case FinishReason::kShed: return "shed";
   }
   return "?";
 }
@@ -38,17 +59,17 @@ const char* finish_reason_name(FinishReason r) {
 ContinuousBatchScheduler::ContinuousBatchScheduler(model::GPTModel& model,
                                                    const ServeConfig& cfg)
     : model_(model),
-      cfg_(cfg),
-      cache_(cfg.paged
+      cfg_(clamp_to_budget(cfg, model)),
+      cache_(cfg_.paged
                  ? make_paged_kv_cache(
                        cache_layout(model.config(), model.env().tp_size(),
-                                    cfg.block_tokens),
-                       cfg.kv_budget_tokens)
+                                    cfg_.block_tokens),
+                       cfg_.kv_budget_tokens)
                  : make_naive_kv_cache(
                        cache_layout(model.config(), model.env().tp_size(),
-                                    cfg.block_tokens),
-                       cfg.kv_budget_tokens)),
-      engine_(model, cfg.overlap) {
+                                    cfg_.block_tokens),
+                       cfg_.kv_budget_tokens)),
+      engine_(model, cfg_.overlap) {
   cfg_.validate();
   model_.set_inference(true);
   model_.set_microbatch(0);
@@ -90,6 +111,14 @@ Completion ContinuousBatchScheduler::retire(Sequence&& s,
     case FinishReason::kCompleted: ++stats_.completed; break;
     case FinishReason::kContextOverflow: ++stats_.overflowed; break;
     case FinishReason::kRejected: ++stats_.rejected; break;
+    case FinishReason::kTimedOut:
+      ++stats_.timed_out;
+      MemoryTracker::instance().on_timeout();
+      break;
+    case FinishReason::kShed:
+      ++stats_.shed;
+      MemoryTracker::instance().on_shed();
+      break;
   }
   return c;
 }
@@ -119,6 +148,49 @@ void ContinuousBatchScheduler::admit(std::vector<Completion>* done) {
   }
 }
 
+void ContinuousBatchScheduler::relieve_pressure(std::vector<Completion>* done) {
+  // Deadlines first: a request that has outlived deadline_steps retires
+  // whether queued or mid-decode (a running victim's blocks return to
+  // the pool right here, before the watermark check below reads
+  // occupancy).
+  auto expired = [&](const Sequence& s) {
+    return s.req.deadline_steps >= 0 &&
+           stats_.steps - s.submitted_step > s.req.deadline_steps;
+  };
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (expired(*it)) {
+      done->push_back(retire(std::move(*it), FinishReason::kTimedOut));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (size_t i = 0; i < running_.size();) {
+    if (expired(running_[i])) {
+      done->push_back(retire(std::move(running_[i]), FinishReason::kTimedOut));
+      running_.erase(running_.begin() + static_cast<int64_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  // Queue-cap shedding, newest-first: the front holds the oldest
+  // submissions and any preempted sequences (whose generated tokens
+  // would be wasted work), so overflow drops from the back.
+  if (cfg_.max_queue >= 0) {
+    while (static_cast<int64_t>(queue_.size()) > cfg_.max_queue) {
+      done->push_back(retire(std::move(queue_.back()), FinishReason::kShed));
+      queue_.pop_back();
+    }
+  }
+  // Hard KV watermark: evict latest-admitted until back under (the
+  // earliest sequence is never the victim, so progress is guaranteed —
+  // the same invariant as reservation-time preemption).
+  while (cache_->occupancy() > cfg_.hard_pct && running_.size() > 1) {
+    preempt_latest();
+    ++stats_.pressure_preemptions;
+  }
+}
+
 void ContinuousBatchScheduler::preempt_latest() {
   MLS_CHECK(!running_.empty());
   Sequence victim = std::move(running_.back());
@@ -133,7 +205,16 @@ void ContinuousBatchScheduler::preempt_latest() {
 std::vector<Completion> ContinuousBatchScheduler::step() {
   ++stats_.steps;
   std::vector<Completion> done;
-  admit(&done);
+  relieve_pressure(&done);
+  // Soft watermark: with the pool this full, admitting more sequences
+  // would only feed the preemption loop — hold the queue instead and
+  // let running sequences drain. (At the 1.0 default this gates only a
+  // completely full pool, where admission could not proceed anyway.)
+  if (cache_->occupancy() >= cfg_.soft_pct) {
+    if (!queue_.empty()) ++stats_.throttled_steps;
+  } else {
+    admit(&done);
+  }
   if (running_.empty()) return done;
 
   // Reserve this step's KV position for every running sequence before

@@ -51,6 +51,12 @@ struct Request {
   // return to the paged pool the same step, so early finishers free
   // their unused tail for queued requests immediately.
   std::vector<int64_t> stop_tokens;
+  // Per-request deadline in scheduler steps: once more than this many
+  // steps have elapsed since submission the request retires as
+  // kTimedOut (whether still queued or mid-decode), returning its KV
+  // blocks that step. < 0 = no deadline. Step-based, not wall-clock, so
+  // timeouts fire identically on every rank and every run.
+  int64_t deadline_steps = -1;
 };
 
 enum class FinishReason {
@@ -60,6 +66,9 @@ enum class FinishReason {
                      // model::ContextOverflowError instead)
   kRejected,         // empty/over-long prompt, or can never fit the KV
                      // budget even alone
+  kTimedOut,         // Request.deadline_steps elapsed before completion
+  kShed,             // dropped newest-first when the queue exceeded
+                     // ServeConfig.max_queue (shedding, not crashing)
 };
 
 const char* finish_reason_name(FinishReason r);
@@ -93,6 +102,12 @@ struct SchedStats {
   int64_t completed = 0;
   int64_t overflowed = 0;
   int64_t rejected = 0;
+  int64_t timed_out = 0;             // deadline expiries
+  int64_t shed = 0;                  // queue-cap drops
+  int64_t throttled_steps = 0;       // steps admission was soft-gated
+                                     // with work waiting
+  int64_t pressure_preemptions = 0;  // evictions by the hard watermark
+                                     // (subset of `preemptions`)
   int64_t max_batch_rows = 0;
   double batch_rows_sum = 0;  // mean occupancy = batch_rows_sum / steps
   double kv_waste_sum = 0;    // mean KV fragmentation = / steps
@@ -149,6 +164,11 @@ class ContinuousBatchScheduler {
   int64_t kv_target(const Request& r) const;
   void admit(std::vector<Completion>* done);
   void preempt_latest();
+  // Step-entry pressure pass: expire deadlines (queued and running),
+  // shed queue overflow newest-first, and preempt back under the hard
+  // KV watermark — every way the scheduler gives work up instead of
+  // dying, before this step commits to a batch.
+  void relieve_pressure(std::vector<Completion>* done);
   Completion retire(Sequence&& s, FinishReason reason);
 
   model::GPTModel& model_;

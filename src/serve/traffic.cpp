@@ -61,6 +61,7 @@ std::vector<Request> ClosedLoopTraffic::arrivals(int64_t step) {
     r.max_new_tokens = zipf_len(out_cdf_, cfg_.out_min);
     r.temperature = cfg_.temperature;
     r.seed = cfg_.seed ^ (0x517cc1b7ull * static_cast<uint64_t>(r.id + 1));
+    r.deadline_steps = cfg_.deadline_steps;
     owner_.push_back(c);
     client_busy_[ci] = true;
     out.push_back(std::move(r));

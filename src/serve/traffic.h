@@ -30,6 +30,10 @@ struct TrafficConfig {
   int64_t out_max = 0;  // 0: half the model window
   float temperature = 0.0f;
   uint64_t seed = 7;
+  // Applied to every generated request (Request.deadline_steps); < 0 =
+  // none. Overload tests drive the scheduler past its KV budget and
+  // assert the excess retires as kTimedOut instead of waiting forever.
+  int64_t deadline_steps = -1;
 };
 
 class ClosedLoopTraffic {

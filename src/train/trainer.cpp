@@ -37,6 +37,11 @@ Trainer::Trainer(const model::ModelConfig& cfg, comm::Comm& world,
     : cfg_(cfg), opts_(std::move(opts)), world_(world) {
   engine_ = std::make_unique<pipeline::PipelineEngine>(cfg_, world,
                                                        opts_.pipeline);
+  if (opts_.pressure.enabled()) {
+    monitor_ = std::make_unique<memory::PressureMonitor>(opts_.pressure);
+    governor_ = std::make_unique<memory::RecomputeGovernor>(opts_.pressure,
+                                                            cfg_.recompute);
+  }
   if (opts_.use_adam) {
     adam_ = std::make_unique<optim::Adam>(engine_->params(), opts_.lr);
   } else {
@@ -215,6 +220,37 @@ int64_t Trainer::restore_latest(serialize::CheckpointStore& store) {
   return gen;
 }
 
+// The lockstep agreement behind recompute escalation: every rank
+// samples its own arena, then the world Max-reduces the level (the
+// PressureLevel encoding orders kLow < kNone < kSoft < kHard), so one
+// pressured rank escalates everyone and de-escalation waits for every
+// rank to be low. Feeding the agreed level to per-rank governors with
+// identical state keeps all ranks on the same rung without a second
+// collective.
+core::Recompute Trainer::agree_recompute() {
+  const memory::PressureLevel local = monitor_->sample();
+  Tensor lvl = Tensor::scalar(static_cast<float>(static_cast<int>(local)));
+  {
+    analysis::SiteGuard sg("trainer.pressure");
+    world_.all_reduce(lvl, comm::ReduceOp::Max);
+  }
+  const auto agreed = static_cast<memory::PressureLevel>(
+      static_cast<int>(lvl.item()));
+  const core::Recompute before = governor_->current();
+  const core::Recompute rc = governor_->on_level(agreed);
+  if (rc != before && world_.rank() == 0) {
+    std::fprintf(stderr,
+                 "[pressure] step %lld: level %s, recompute %s -> %s "
+                 "(%lld escalations, %lld de-escalations)\n",
+                 static_cast<long long>(iteration_),
+                 memory::pressure_level_name(agreed),
+                 core::recompute_name(before), core::recompute_name(rc),
+                 static_cast<long long>(governor_->stats().escalations),
+                 static_cast<long long>(governor_->stats().deescalations));
+  }
+  return rc;
+}
+
 StepResult Trainer::step(const std::vector<data::Batch>& microbatches) {
   // Fault-plane context for this step: tags this thread (and, via
   // Comm::launch, its comm-stream tasks) with (world rank, step) so a
@@ -222,6 +258,8 @@ StepResult Trainer::step(const std::vector<data::Batch>& microbatches) {
   // events. Both are a single atomic load when no plan is armed.
   fault::TrainScope fault_scope(world_.rank(), iteration_);
   fault::on_step(world_.rank(), iteration_);
+
+  if (governor_) engine_->set_recompute(agree_recompute());
 
   std::vector<std::vector<int64_t>> tokens, targets;
   tokens.reserve(microbatches.size());
@@ -237,6 +275,7 @@ StepResult Trainer::step(const std::vector<data::Batch>& microbatches) {
   StepResult result;
   result.loss = stats.loss;
   result.peak_activation_bytes = stats.peak_activation_bytes;
+  result.recompute = engine_->recompute();
   result.grad_norm = opts_.grad_clip > 0 ? clip_gradients() : 0.0f;
   result.lr = lr_at(iteration_);
 
@@ -270,7 +309,20 @@ ResilientResult run_resilient(const model::ModelConfig& cfg,
     try {
       serialize::CheckpointStore store(ropts.ckpt_dir, ropts.keep_generations);
       Trainer trainer(cfg, world, topts);
-      const int64_t gen = trainer.restore_latest(store);
+      int64_t gen = -1;
+      try {
+        gen = trainer.restore_latest(store);
+      } catch (const serialize::RestoreError& e) {
+        // Every committed generation is corrupt. This loop still holds
+        // the full input stream, so replaying from step 0 is correct —
+        // but it is an explicit, logged decision here, not a silent
+        // fallback inside the store (every rank threw together, so
+        // every rank lands on the same decision).
+        if (ropts.log && rank == 0) {
+          std::fprintf(stderr, "[elastic] %s; replaying from step 0\n",
+                       e.what());
+        }
+      }
       if (res.restarts > 0) {
         res.restored_gens.push_back(gen);
         res.steps_replayed += max_reached - trainer.iteration();

@@ -10,6 +10,7 @@
 
 #include "data/synthetic.h"
 #include "fault/rendezvous.h"
+#include "memory/pressure.h"
 #include "optim/optim.h"
 #include "pipeline/executor.h"
 #include "serialize/ckpt_store.h"
@@ -28,6 +29,13 @@ struct TrainerOptions {
   int64_t decay_steps = 0;  // cosine decay horizon; 0 = constant lr
   float min_lr_fraction = 0.1f;
   pipeline::PipelineOptions pipeline;
+  // Memory-pressure plane (DESIGN.md §14): when the budget is set, each
+  // step samples the arena, all-reduces the pressure level (Max) so
+  // every rank sees the same verdict, and the governor escalates the
+  // recompute Technique up the paper's ladder — losses stay
+  // bit-identical to the unpressured run. Disabled (no extra
+  // collectives) when budget_bytes < 0.
+  memory::PressureConfig pressure = memory::PressureConfig::from_env();
 };
 
 struct StepResult {
@@ -35,6 +43,9 @@ struct StepResult {
   float lr;
   float grad_norm;  // pre-clip global norm (0 when clipping disabled)
   int64_t peak_activation_bytes;
+  // The checkpoint Technique this step actually ran with (the governor
+  // may have moved it off the configured floor).
+  core::Recompute recompute = core::Recompute::kNone;
 };
 
 class Trainer {
@@ -48,6 +59,10 @@ class Trainer {
 
   int64_t iteration() const { return iteration_; }
   pipeline::PipelineEngine& engine() { return *engine_; }
+  // Null unless opts.pressure is enabled. Governor rung state is not
+  // checkpointed: a restored run starts back at the configured floor
+  // and re-escalates if pressure persists (the monitor resamples).
+  const memory::RecomputeGovernor* governor() const { return governor_.get(); }
   // Current learning rate under the schedule.
   float lr_at(int64_t it) const;
 
@@ -68,6 +83,7 @@ class Trainer {
 
  private:
   float clip_gradients();
+  core::Recompute agree_recompute();
   serialize::NamedTensors state_items() const;
   void load_state_items(const serialize::NamedTensors& items);
 
@@ -77,6 +93,8 @@ class Trainer {
   std::unique_ptr<pipeline::PipelineEngine> engine_;
   std::unique_ptr<optim::Adam> adam_;
   std::unique_ptr<optim::Sgd> sgd_;
+  std::unique_ptr<memory::PressureMonitor> monitor_;
+  std::unique_ptr<memory::RecomputeGovernor> governor_;
   int64_t iteration_ = 0;
 };
 

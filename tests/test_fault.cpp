@@ -64,6 +64,34 @@ TEST(FaultPlanTest, ParsesTheFullGrammar) {
   ASSERT_EQ(reparsed.events.size(), plan.events.size());
 }
 
+TEST(FaultPlanTest, OomGrammarRoundTrips) {
+  const auto plan = fault::FaultPlan::parse(
+      "oom@r2:site=alloc:fails=3;oom@r*:site=pressure.soft;"
+      "oom@r1:step=4:site=kv.block");
+  ASSERT_EQ(plan.events.size(), 3u);
+  EXPECT_EQ(plan.events[0].kind, fault::FaultKind::kOom);
+  EXPECT_EQ(plan.events[0].rank, 2);
+  EXPECT_EQ(plan.events[0].site, "alloc");
+  EXPECT_EQ(plan.events[0].fails, 3);
+  EXPECT_EQ(plan.events[1].rank, -1);
+  EXPECT_EQ(plan.events[1].fails, 1);
+  EXPECT_EQ(plan.events[2].step, 4);
+  EXPECT_STREQ(fault::fault_kind_name(fault::FaultKind::kOom), "oom");
+  const auto reparsed = fault::FaultPlan::parse(plan.str());
+  EXPECT_EQ(reparsed.str(), plan.str());
+}
+
+TEST(FaultPlanTest, ChaosDrawsOomEvents) {
+  // oom draws are probabilistic per seed; across a handful of seeds at
+  // least one plan must include the kind.
+  bool any_oom = false;
+  for (uint64_t seed = 0; seed < 32 && !any_oom; ++seed) {
+    any_oom =
+        fault::FaultPlan::chaos(seed, 4, 4).str().find("oom@") != std::string::npos;
+  }
+  EXPECT_TRUE(any_oom) << "chaos() never drew an oom event in 32 seeds";
+}
+
 TEST(FaultPlanTest, RejectsMalformedSpecs) {
   EXPECT_THROW(fault::FaultPlan::parse("explode@r1"), Error);
   EXPECT_THROW(fault::FaultPlan::parse("crash@x1"), Error);
@@ -170,6 +198,43 @@ TEST_F(FaultTest, StoreFallsBackWhenAnyRanksShardIsCorrupt) {
     EXPECT_EQ(store.restore_latest(world, out), 0);
     ASSERT_EQ(out.size(), 1u);
     EXPECT_FLOAT_EQ(out[0].second.item(), static_cast<float>(world.rank()));
+  });
+}
+
+TEST_F(FaultTest, RestoreWithEveryGenerationCorruptThrowsStructured) {
+  const std::string dir = subdir("allbad");
+  spmd::run(2, [&](comm::Comm& world) {
+    serialize::CheckpointStore store(dir, /*keep=*/4);
+    for (int g = 0; g < 2; ++g) {
+      serialize::NamedTensors items = {
+          {"w", Tensor::scalar(static_cast<float>(10 * g + world.rank()))}};
+      store.commit(world, items);
+    }
+    world.barrier();
+    if (world.rank() == 1) {  // every generation bad on one rank
+      for (int64_t g = 0; g < 2; ++g) {
+        std::FILE* f = std::fopen(store.shard_path(g, 1).c_str(), "r+b");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 24, SEEK_SET);
+        std::fputc(0xff, f);
+        std::fclose(f);
+      }
+    }
+    world.barrier();
+    serialize::NamedTensors out;
+    // No silent fresh start: every rank throws the structured error
+    // together (the per-generation verdicts are all_reduce-agreed),
+    // naming the newest bad generation.
+    try {
+      store.restore_latest(world, out);
+      ADD_FAILURE() << "restore_latest must throw when all generations fail";
+    } catch (const serialize::RestoreError& e) {
+      EXPECT_EQ(e.newest_bad_gen(), 1);
+      EXPECT_EQ(e.generations_tried(), 2);
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("generation 1"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("CRC"), std::string::npos) << msg;
+    }
   });
 }
 
